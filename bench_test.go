@@ -1,0 +1,328 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark family per
+// table/figure (see DESIGN.md's experiment index):
+//
+//	BenchmarkE1Tintin / BenchmarkE1Baseline — the §1/§4 headline grid
+//	BenchmarkE2PerAssertion                 — assertions of different complexity
+//	BenchmarkE3TrivialSkip                  — the trivial-emptiness discard
+//	BenchmarkE4Ablations                    — semantic-optimization ablations
+//
+// Scales are reduced relative to cmd/tintinbench so `go test -bench=.`
+// completes in minutes; set TINTIN_BENCH_ORDERS_PER_GB to change. The
+// measured quantity matches the paper's: the time safeCommit spends checking
+// the incremental views (TINTIN) vs evaluating the original assertion
+// queries on the updated database (non-incremental).
+package tintin_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"tintin/internal/baseline"
+	"tintin/internal/core"
+	"tintin/internal/tpch"
+)
+
+func ordersPerGB() int {
+	if s := os.Getenv("TINTIN_BENCH_ORDERS_PER_GB"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 20000
+}
+
+// fixture is a prepared database + tool + staged update, shared across
+// benchmark iterations.
+type fixture struct {
+	tool *core.Tool
+	gen  *tpch.Generator
+	bl   *baseline.Checker
+}
+
+var (
+	fixturesMu sync.Mutex
+	fixtures   = map[string]*fixture{}
+)
+
+func getFixture(b *testing.B, gb int, opts core.Options, key string, assertions []string) *fixture {
+	b.Helper()
+	fixturesMu.Lock()
+	defer fixturesMu.Unlock()
+	id := fmt.Sprintf("%d|%s", gb, key)
+	if f, ok := fixtures[id]; ok {
+		return f
+	}
+	scale := tpch.ScaleOrders(fmt.Sprintf("%dGB", gb), gb*ordersPerGB())
+	db, gen, err := tpch.NewDatabase("tpc", scale, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tool := core.New(db, opts)
+	if err := tool.Install(); err != nil {
+		b.Fatal(err)
+	}
+	for _, a := range assertions {
+		if _, err := tool.AddAssertion(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := gen.PrewarmIndexes(); err != nil {
+		b.Fatal(err)
+	}
+	bl, err := baseline.New(db, assertions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &fixture{tool: tool, gen: gen, bl: bl}
+	fixtures[id] = f
+	return f
+}
+
+func stageUpdate(b *testing.B, f *fixture, mb int) *tpch.Update {
+	b.Helper()
+	u, err := f.gen.CleanUpdateMB(mb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := u.Stage(f.tool.DB()); err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+// BenchmarkE1Tintin measures the incremental check over the E1 grid.
+func BenchmarkE1Tintin(b *testing.B) {
+	for _, gb := range []int{1, 2, 3, 4, 5} {
+		for _, mb := range []int{1, 5} {
+			b.Run(fmt.Sprintf("%dGB/%dMB", gb, mb), func(b *testing.B) {
+				f := getFixture(b, gb, core.DefaultOptions(), "e1", []string{tpch.AssertionAtLeastOneLineItem})
+				stageUpdate(b, f, mb)
+				defer f.tool.DB().TruncateEvents()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := f.tool.Check()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Violations) != 0 {
+						b.Fatal("clean workload flagged")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE1Baseline measures the non-incremental check (original
+// assertion query on the post-update state) over the same grid.
+func BenchmarkE1Baseline(b *testing.B) {
+	for _, gb := range []int{1, 2, 3, 4, 5} {
+		for _, mb := range []int{1, 5} {
+			b.Run(fmt.Sprintf("%dGB/%dMB", gb, mb), func(b *testing.B) {
+				f := getFixture(b, gb, core.DefaultOptions(), "e1", []string{tpch.AssertionAtLeastOneLineItem})
+				u := stageUpdate(b, f, mb)
+				// Build the post-state once: the baseline measures query
+				// time, not the apply.
+				shadow := f.tool.DB().Clone()
+				if err := shadow.ApplyEvents(); err != nil {
+					b.Fatal(err)
+				}
+				blShadow, err := baseline.New(shadow, []string{tpch.AssertionAtLeastOneLineItem})
+				if err != nil {
+					b.Fatal(err)
+				}
+				f.tool.DB().TruncateEvents()
+				_ = u
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := blShadow.Check()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Violations) != 0 {
+						b.Fatal("clean workload flagged")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE2PerAssertion measures TINTIN's check per assertion complexity
+// class (largest scale, 1MB update).
+func BenchmarkE2PerAssertion(b *testing.B) {
+	names := []string{
+		"positiveQuantity", "positiveAvailQty", "orderHasCustomer",
+		"lineItemHasOrder", "atLeastOneLineItem", "supplierSellsSomething",
+		"customerNationInRegion",
+	}
+	for i, sql := range tpch.ComplexityAssertions() {
+		b.Run(names[i], func(b *testing.B) {
+			f := getFixture(b, 2, core.DefaultOptions(), "e2-"+names[i], []string{sql})
+			stageUpdate(b, f, 1)
+			defer f.tool.DB().TruncateEvents()
+			b.ResetTimer()
+			for j := 0; j < b.N; j++ {
+				if _, err := f.tool.Check(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3TrivialSkip measures the cost of a safeCommit check when the
+// update cannot affect any assertion (everything skipped) vs when it can.
+func BenchmarkE3TrivialSkip(b *testing.B) {
+	f := getFixture(b, 1, core.DefaultOptions(), "e3", tpch.ComplexityAssertions())
+	b.Run("part-only-update", func(b *testing.B) {
+		u, err := f.gen.SingleTableUpdate("part", 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := u.Stage(f.tool.DB()); err != nil {
+			b.Fatal(err)
+		}
+		defer f.tool.DB().TruncateEvents()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := f.tool.Check()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ViewsChecked != 0 {
+				b.Fatal("expected all views skipped")
+			}
+		}
+	})
+	b.Run("mixed-update", func(b *testing.B) {
+		stageUpdate(b, f, 1)
+		defer f.tool.DB().TruncateEvents()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.tool.Check(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE4Ablations measures the check with each optimization disabled.
+func BenchmarkE4Ablations(b *testing.B) {
+	full := core.DefaultOptions()
+	noFK := full
+	noFK.EDC.FKOptimization = false
+	noSub := full
+	noSub.EDC.Subsumption = false
+	noSkip := full
+	noSkip.SkipEmptyEventViews = false
+	noIdx := full
+	noIdx.DisableIndexProbes = true
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"full", full},
+		{"noFKDiscard", noFK},
+		{"noSubsumption", noSub},
+		{"noEventSkip", noSkip},
+		{"noIndexProbes", noIdx},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			f := getFixture(b, 1, v.opts, "e4-"+v.name, tpch.ComplexityAssertions())
+			stageUpdate(b, f, 1)
+			defer f.tool.DB().TruncateEvents()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.tool.Check(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5Aggregates measures the aggregate extension (COUNT/SUM
+// assertions, the paper's §5 future work) against the same update.
+func BenchmarkE5Aggregates(b *testing.B) {
+	aggs := map[string]string{
+		"countCap": `CREATE ASSERTION atMostTwentyLineItems CHECK(
+  NOT EXISTS (
+    SELECT * FROM orders AS o
+    WHERE (SELECT COUNT(*) FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey) > 20))`,
+		"sumCap": `CREATE ASSERTION totalQuantityCap CHECK(
+  NOT EXISTS (
+    SELECT * FROM orders AS o
+    WHERE (SELECT SUM(l.l_quantity) FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey) > 100000))`,
+	}
+	for name, sql := range aggs {
+		b.Run(name, func(b *testing.B) {
+			f := getFixture(b, 1, core.DefaultOptions(), "e5-"+name, []string{sql})
+			stageUpdate(b, f, 1)
+			defer f.tool.DB().TruncateEvents()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := f.tool.Check()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Violations) != 0 {
+					b.Fatal("clean workload flagged")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileAssertion measures the full assertion → denial → EDC →
+// SQL-views pipeline (compile time, not check time).
+func BenchmarkCompileAssertion(b *testing.B) {
+	f := getFixture(b, 1, core.DefaultOptions(), "compile", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sql := fmt.Sprintf(`CREATE ASSERTION bench%d CHECK(
+			NOT EXISTS(
+				SELECT * FROM orders AS o
+				WHERE NOT EXISTS (
+					SELECT * FROM lineitem AS l
+					WHERE l.l_orderkey = o.o_orderkey)))`, i)
+		a, err := f.tool.AddAssertion(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := f.tool.DropAssertion(a.Name); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkSafeCommitApply measures a full safeCommit cycle including the
+// apply step (stage → check → commit), the end-to-end transaction cost.
+func BenchmarkSafeCommitApply(b *testing.B) {
+	f := getFixture(b, 1, core.DefaultOptions(), "apply", []string{tpch.AssertionAtLeastOneLineItem})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		u, err := f.gen.CleanUpdateMB(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := u.Stage(f.tool.DB()); err != nil {
+			b.Fatal(err)
+		}
+		res, err := f.tool.SafeCommit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Committed {
+			b.Fatal("clean update rejected")
+		}
+	}
+}

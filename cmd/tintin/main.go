@@ -1,0 +1,227 @@
+// Command tintin is a scriptable shell reproducing the paper's demo flow
+// (§3): create a database, install the event tables and capture triggers,
+// add SQL assertions (compiled to denials, EDCs and incremental views), run
+// updates, and CALL safeCommit to check-and-commit or reject them.
+//
+// Usage:
+//
+//	tintin [-tpch n] [-script file]
+//
+// With -tpch n, a TPC-H database with n*1000 orders is pre-loaded.
+// Statements are read from the script file (or stdin), separated by
+// semicolons. Besides SQL, the shell accepts meta commands:
+//
+//	\install             create event tables and enable capture
+//	\assertions          list compiled assertions
+//	\denials NAME        show the logic denials of an assertion
+//	\edcs NAME           show the EDCs (and discarded ones) of an assertion
+//	\views NAME          show the generated incremental SQL views
+//	\stats               show compilation statistics
+//	\tables              list tables with row counts
+//	\quit                exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tintin/internal/core"
+	"tintin/internal/engine"
+	"tintin/internal/sqlparser"
+	"tintin/internal/storage"
+	"tintin/internal/tpch"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tintin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("tintin", flag.ContinueOnError)
+	script := fs.String("script", "", "SQL script to execute (default: stdin)")
+	tpchOrders := fs.Int("tpch", 0, "pre-load a TPC-H database with n*1000 orders")
+	seed := fs.Int64("seed", 42, "data generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var db *storage.DB
+	if *tpchOrders > 0 {
+		var err error
+		db, _, err = tpch.NewDatabase("tpc", tpch.ScaleOrders(fmt.Sprintf("%dk", *tpchOrders), *tpchOrders*1000), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded TPC-H: %d orders, %d line items\n",
+			db.MustTable("orders").Len(), db.MustTable("lineitem").Len())
+	} else {
+		db = storage.NewDB("db")
+	}
+	tool := core.New(db, core.DefaultOptions())
+
+	var in io.Reader = stdin
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	return shell(tool, in, out)
+}
+
+func shell(tool *core.Tool, in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if trimmed == "\\quit" {
+				return nil
+			}
+			if err := meta(tool, trimmed, out); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
+			continue
+		}
+		if buf.Len() == 0 && (trimmed == "" || strings.HasPrefix(trimmed, "--")) {
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			if err := execute(tool, stmt, out); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
+		}
+	}
+	if buf.Len() > 0 {
+		if err := execute(tool, buf.String(), out); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	}
+	return sc.Err()
+}
+
+func execute(tool *core.Tool, sql string, out io.Writer) error {
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case *sqlparser.CreateAssertion:
+			a, err := tool.AddAssertionAST(x, sql)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "assertion %s: %d denial(s), %d EDC(s) (%d discarded), %d view(s)\n",
+				a.Name, len(a.Denial.Denials), len(a.EDCs.EDCs), len(a.EDCs.Discarded), len(a.Views))
+		default:
+			res, err := tool.Engine().ExecStatement(st)
+			if err != nil {
+				return err
+			}
+			printResult(res, out)
+		}
+	}
+	return nil
+}
+
+func printResult(res *engine.ExecResult, out io.Writer) {
+	switch {
+	case res.Result != nil:
+		fmt.Fprintln(out, strings.Join(res.Result.Columns, " | "))
+		const maxRows = 50
+		for i, r := range res.Result.Rows {
+			if i == maxRows {
+				fmt.Fprintf(out, "... (%d more rows)\n", len(res.Result.Rows)-maxRows)
+				break
+			}
+			fmt.Fprintln(out, r.String())
+		}
+		fmt.Fprintf(out, "(%d rows)\n", len(res.Result.Rows))
+	case res.Message != "":
+		fmt.Fprintln(out, res.Message)
+	default:
+		fmt.Fprintf(out, "%d row(s) affected\n", res.RowsAffected)
+	}
+}
+
+func meta(tool *core.Tool, cmd string, out io.Writer) error {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\install":
+		if err := tool.Install(); err != nil {
+			return err
+		}
+		s := tool.Stats()
+		fmt.Fprintf(out, "event tables installed (%d), capture enabled\n", len(s.EventTables))
+		return nil
+
+	case "\\assertions":
+		for _, a := range tool.Assertions() {
+			fmt.Fprintf(out, "%s: %d EDC(s), views %s\n", a.Name, len(a.EDCs.EDCs), strings.Join(a.Views, ", "))
+		}
+		return nil
+
+	case "\\denials", "\\edcs", "\\views":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: %s NAME", fields[0])
+		}
+		a := tool.Assertion(fields[1])
+		if a == nil {
+			return fmt.Errorf("no assertion %s", fields[1])
+		}
+		switch fields[0] {
+		case "\\denials":
+			fmt.Fprint(out, a.Denial.String())
+		case "\\edcs":
+			for _, e := range a.EDCs.EDCs {
+				fmt.Fprintf(out, "%s: %s\n", e.Name, e.String())
+			}
+			for _, name := range a.EDCs.RuleOrder {
+				for _, r := range a.EDCs.Rules[name] {
+					fmt.Fprintf(out, "  %s\n", r.String())
+				}
+			}
+			for _, d := range a.EDCs.Discarded {
+				fmt.Fprintf(out, "discarded %s: %s\n", d.EDC.Name, d.Reason)
+			}
+		case "\\views":
+			names, sqls, err := tool.ViewsFor(fields[1])
+			if err != nil {
+				return err
+			}
+			for i := range names {
+				fmt.Fprintf(out, "CREATE VIEW %s AS %s\n", names[i], sqls[i])
+			}
+		}
+		return nil
+
+	case "\\stats":
+		s := tool.Stats()
+		fmt.Fprintf(out, "assertions=%d edcs=%d discarded=%d views=%d event_tables=%d\n",
+			s.Assertions, s.EDCs, s.Discarded, s.Views, len(s.EventTables))
+		return nil
+
+	case "\\tables":
+		for _, n := range tool.DB().TableNames() {
+			fmt.Fprintf(out, "%-24s %d rows\n", n, tool.DB().MustTable(n).Len())
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown meta command %s", fields[0])
+}

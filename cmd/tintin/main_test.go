@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoScript = `
+CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, o_totalprice REAL);
+CREATE TABLE lineitem (
+  l_orderkey INTEGER NOT NULL,
+  l_linenumber INTEGER NOT NULL,
+  l_quantity INTEGER,
+  PRIMARY KEY (l_orderkey, l_linenumber),
+  FOREIGN KEY (l_orderkey) REFERENCES orders (o_orderkey)
+);
+INSERT INTO orders VALUES (1, 10.5);
+INSERT INTO lineitem VALUES (1, 1, 5);
+\install
+CREATE ASSERTION atLeastOneLineItem CHECK(
+  NOT EXISTS(
+    SELECT * FROM orders AS o
+    WHERE NOT EXISTS (
+      SELECT * FROM lineitem AS l
+      WHERE l.l_orderkey = o.o_orderkey)));
+\assertions
+\denials atLeastOneLineItem
+\edcs atLeastOneLineItem
+\views atLeastOneLineItem
+\stats
+INSERT INTO orders VALUES (2, 99.0);
+CALL safeCommit;
+INSERT INTO orders VALUES (2, 99.0);
+INSERT INTO lineitem VALUES (2, 1, 3);
+CALL safeCommit;
+SELECT o_orderkey FROM orders;
+\tables
+\quit
+`
+
+func runShell(t *testing.T, script string, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, strings.NewReader(script), &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestDemoScriptFlow(t *testing.T) {
+	out := runShell(t, demoScript)
+	for _, want := range []string{
+		"event tables installed (4), capture enabled",
+		"assertion atleastonelineitem: 1 denial(s), 2 EDC(s) (1 discarded), 2 view(s)",
+		"rejected: 1 assertion violation(s)",
+		"committed",
+		"ins_orders",
+		"orders(",      // denial rendering
+		"_edc",         // EDC names
+		"CREATE VIEW",  // views listing
+		"assertions=1", // stats
+		"(2 rows)",     // final select: orders 1 and 2
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestShellReportsErrorsAndContinues(t *testing.T) {
+	out := runShell(t, `
+SELECT * FROM missing;
+CREATE TABLE t (a INTEGER);
+SELECT a FROM t;
+\nonsense
+\stats
+`)
+	if !strings.Contains(out, "error:") {
+		t.Errorf("missing table error not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "(0 rows)") {
+		t.Errorf("recovery after error failed:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown meta command") {
+		t.Errorf("meta error not reported:\n%s", out)
+	}
+}
+
+func TestTpchPreload(t *testing.T) {
+	out := runShell(t, "\\tables\n\\quit\n", "-tpch", "1")
+	if !strings.Contains(out, "loaded TPC-H") {
+		t.Errorf("preload banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "lineitem") {
+		t.Errorf("tables listing missing:\n%s", out)
+	}
+}
+
+func TestMetaArgumentValidation(t *testing.T) {
+	out := runShell(t, "\\views\n\\views nope\n\\quit\n")
+	if strings.Count(out, "error:") != 2 {
+		t.Errorf("expected two errors:\n%s", out)
+	}
+}

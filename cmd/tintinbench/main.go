@@ -1,0 +1,105 @@
+// Command tintinbench regenerates the paper's evaluation: the E1 grid
+// behind the §1/§4 headline numbers (incremental vs non-incremental check
+// times over 1–5 GB data and 1–5 MB updates), the E2 assertion-complexity
+// sweep, the E3 trivial-emptiness/demo experiment, and the E4 ablations.
+//
+// Usage:
+//
+//	tintinbench [-exp e1|e2|e3|e4|all] [-orders-per-gb n] [-gbs 1,2,3,4,5] [-mbs 1,5] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tintin/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tintinbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tintinbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run: e1, e2, e3, e4, e5 or all")
+	ordersPerGB := fs.Int("orders-per-gb", 150000, "orders standing in for 1GB of TPC-H data")
+	gbs := fs.String("gbs", "1,2,3,4,5", "comma-separated data scales (GB labels)")
+	mbs := fs.String("mbs", "1,5", "comma-separated update sizes (MB labels)")
+	seed := fs.Int64("seed", 42, "generator seed")
+	quick := fs.Bool("quick", false, "small configuration for a fast smoke run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := harness.Config{OrdersPerGB: *ordersPerGB, Seed: *seed}
+	var err error
+	if cfg.GBs, err = parseInts(*gbs); err != nil {
+		return fmt.Errorf("-gbs: %w", err)
+	}
+	if cfg.MBs, err = parseInts(*mbs); err != nil {
+		return fmt.Errorf("-mbs: %w", err)
+	}
+	if *quick {
+		cfg = harness.QuickConfig()
+	}
+
+	fmt.Printf("TINTIN evaluation reproduction (1GB ≡ %d orders, seed %d)\n\n", cfg.OrdersPerGB, cfg.Seed)
+	if err := harness.VerifyDetection(cfg); err != nil {
+		return fmt.Errorf("correctness gate failed: %w", err)
+	}
+	fmt.Println("correctness gate: TINTIN and the non-incremental baseline agree on injected violations")
+	fmt.Println()
+
+	type runner struct {
+		name string
+		fn   func(harness.Config) (*harness.Table, error)
+	}
+	runners := []runner{
+		{"e1", harness.RunE1},
+		{"e2", harness.RunE2},
+		{"e3", harness.RunE3},
+		{"e4", harness.RunE4},
+		{"e5", harness.RunE5},
+	}
+	ran := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran = true
+		tab, err := r.fn(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Println(tab.Format())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

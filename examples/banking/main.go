@@ -1,0 +1,140 @@
+// Banking: a double-entry ledger scenario — every transfer must reference
+// existing accounts on both sides, closed accounts cannot appear in new
+// transfers, and every account must belong to a registered customer. The
+// example also demonstrates inspecting which event tables can trigger each
+// assertion (the skip lists behind the trivial-emptiness discard).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tintin/internal/core"
+	"tintin/internal/storage"
+)
+
+func main() {
+	db := storage.NewDB("bank")
+	tool := core.New(db, core.DefaultOptions())
+	eng := tool.Engine()
+
+	if _, err := eng.ExecSQL(`
+		CREATE TABLE customer (
+			c_id INTEGER PRIMARY KEY,
+			c_name VARCHAR NOT NULL
+		);
+		CREATE TABLE account (
+			a_id INTEGER PRIMARY KEY,
+			a_customer INTEGER NOT NULL,
+			a_closed BOOLEAN NOT NULL,
+			FOREIGN KEY (a_customer) REFERENCES customer (c_id)
+		);
+		CREATE TABLE transfer (
+			t_id INTEGER PRIMARY KEY,
+			t_from INTEGER NOT NULL,
+			t_to INTEGER NOT NULL,
+			t_amount REAL NOT NULL
+		);
+		INSERT INTO customer VALUES (1, 'Ada'), (2, 'Grace');
+		INSERT INTO account VALUES (100, 1, FALSE), (200, 2, FALSE), (300, 2, TRUE);
+		INSERT INTO transfer VALUES (1000, 100, 200, 25.0);
+	`); err != nil {
+		log.Fatal(err)
+	}
+	if err := tool.Install(); err != nil {
+		log.Fatal(err)
+	}
+
+	assertions := []string{
+		`CREATE ASSERTION positiveAmount CHECK (
+			NOT EXISTS (SELECT * FROM transfer AS t WHERE t.t_amount <= 0))`,
+		`CREATE ASSERTION accountHasCustomer CHECK (
+			NOT EXISTS (
+				SELECT * FROM account AS a
+				WHERE a.a_customer NOT IN (SELECT c.c_id FROM customer AS c)))`,
+		// Both endpoints of a transfer must be open accounts. Written with a
+		// disjunction: TINTIN splits it into one denial per endpoint.
+		`CREATE ASSERTION transferEndpointsOpen CHECK (
+			NOT EXISTS (
+				SELECT * FROM transfer AS t
+				WHERE NOT EXISTS (
+						SELECT * FROM account AS a
+						WHERE a.a_id = t.t_from AND a.a_closed = FALSE)
+				   OR NOT EXISTS (
+						SELECT * FROM account AS b
+						WHERE b.b_dummy = b.b_dummy)))`,
+	}
+	// The third assertion above is deliberately wrong (b_dummy does not
+	// exist) to show compile-time validation; fix it and retry.
+	for i, sql := range assertions {
+		a, err := tool.AddAssertion(sql)
+		if err != nil {
+			fmt.Printf("assertion %d rejected at compile time: %v\n", i+1, err)
+			continue
+		}
+		printAssertion(tool, a)
+	}
+	fixed := `CREATE ASSERTION transferEndpointsOpen CHECK (
+		NOT EXISTS (
+			SELECT * FROM transfer AS t
+			WHERE NOT EXISTS (
+					SELECT * FROM account AS a
+					WHERE a.a_id = t.t_from AND a.a_closed = FALSE)
+			   OR NOT EXISTS (
+					SELECT * FROM account AS b
+					WHERE b.a_id = t.t_to AND b.a_closed = FALSE)))`
+	a, err := tool.AddAssertion(fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printAssertion(tool, a)
+
+	commit := func(label, sql string) {
+		if _, err := eng.ExecSQL(sql); err != nil {
+			log.Fatal(err)
+		}
+		res, err := tool.SafeCommit()
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "committed"
+		if !res.Committed {
+			status = "REJECTED"
+		}
+		fmt.Printf("%-44s → %-9s (checked %d views, skipped %d)",
+			label, status, res.ViewsChecked, res.ViewsSkipped)
+		for _, v := range res.Violations {
+			fmt.Printf("  [%s]", v.Assertion)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	commit("valid transfer 100→200", `INSERT INTO transfer VALUES (1001, 100, 200, 10.0)`)
+	commit("transfer to the closed account 300", `INSERT INTO transfer VALUES (1002, 100, 300, 5.0)`)
+	commit("zero-amount transfer", `INSERT INTO transfer VALUES (1003, 100, 200, 0.0)`)
+	commit("account for an unknown customer", `INSERT INTO account VALUES (400, 99, FALSE)`)
+	commit("new customer with account and transfer", `
+		INSERT INTO customer VALUES (3, 'Edsger');
+		INSERT INTO account VALUES (400, 3, FALSE);
+		INSERT INTO transfer VALUES (1004, 200, 400, 12.5)`)
+	commit("close account 100 while it has transfers", `
+		DELETE FROM account WHERE a_id = 100;
+		INSERT INTO account VALUES (100, 1, TRUE)`)
+}
+
+func printAssertion(tool *core.Tool, a *core.Assertion) {
+	var triggers []string
+	seen := map[string]bool{}
+	for _, e := range a.EDCs.EDCs {
+		for _, tr := range e.Triggers {
+			if !seen[tr] {
+				seen[tr] = true
+				triggers = append(triggers, tr)
+			}
+		}
+	}
+	fmt.Printf("compiled %-24s %d denial(s), %d EDC(s); triggered by: %s\n",
+		a.Name, len(a.Denial.Denials), len(a.EDCs.EDCs), strings.Join(triggers, ", "))
+}

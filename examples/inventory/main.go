@@ -1,0 +1,125 @@
+// Inventory: a warehouse-management scenario showing TINTIN on a schema of
+// its users' own making (not TPC-H): multi-table stock-consistency rules
+// that plain CHECK constraints and foreign keys cannot express.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tintin/internal/core"
+	"tintin/internal/storage"
+)
+
+func main() {
+	db := storage.NewDB("warehouse")
+	tool := core.New(db, core.DefaultOptions())
+	eng := tool.Engine()
+
+	if _, err := eng.ExecSQL(`
+		CREATE TABLE product (
+			p_id INTEGER PRIMARY KEY,
+			p_name VARCHAR NOT NULL,
+			p_active BOOLEAN
+		);
+		CREATE TABLE warehouse (
+			w_id INTEGER PRIMARY KEY,
+			w_city VARCHAR NOT NULL
+		);
+		CREATE TABLE stock (
+			s_product INTEGER NOT NULL,
+			s_warehouse INTEGER NOT NULL,
+			s_units INTEGER NOT NULL,
+			PRIMARY KEY (s_product, s_warehouse),
+			FOREIGN KEY (s_product) REFERENCES product (p_id),
+			FOREIGN KEY (s_warehouse) REFERENCES warehouse (w_id)
+		);
+		CREATE TABLE shipment (
+			sh_id INTEGER PRIMARY KEY,
+			sh_product INTEGER NOT NULL,
+			sh_warehouse INTEGER NOT NULL,
+			sh_units INTEGER NOT NULL
+		);
+		INSERT INTO product VALUES (1, 'bolt', TRUE), (2, 'nut', TRUE), (3, 'washer', FALSE);
+		INSERT INTO warehouse VALUES (10, 'Bordeaux'), (11, 'Barcelona');
+		INSERT INTO stock VALUES (1, 10, 500), (1, 11, 120), (2, 10, 900);
+		INSERT INTO shipment VALUES (100, 1, 10, 20);
+	`); err != nil {
+		log.Fatal(err)
+	}
+	if err := tool.Install(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Rules a DBA would want but cannot say with column CHECKs:
+	assertions := []string{
+		// Units on stock are never negative (domain rule).
+		`CREATE ASSERTION nonNegativeStock CHECK (
+			NOT EXISTS (SELECT * FROM stock AS s WHERE s.s_units < 0))`,
+		// Every active product is stocked somewhere.
+		`CREATE ASSERTION activeProductStocked CHECK (
+			NOT EXISTS (
+				SELECT * FROM product AS p
+				WHERE p.p_active = TRUE
+				  AND NOT EXISTS (SELECT * FROM stock AS s WHERE s.s_product = p.p_id)))`,
+		// Shipments only from (product, warehouse) pairs that have a stock
+		// record — a composite referential rule across two columns.
+		`CREATE ASSERTION shipmentHasStockRecord CHECK (
+			NOT EXISTS (
+				SELECT * FROM shipment AS sh
+				WHERE NOT EXISTS (
+					SELECT * FROM stock AS s
+					WHERE s.s_product = sh.sh_product
+					  AND s.s_warehouse = sh.sh_warehouse)))`,
+	}
+	for _, sql := range assertions {
+		a, err := tool.AddAssertion(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("compiled %-24s (%d EDCs)\n", a.Name, len(a.EDCs.EDCs))
+	}
+
+	commit := func(label, sql string) {
+		if _, err := eng.ExecSQL(sql); err != nil {
+			log.Fatal(err)
+		}
+		res, err := tool.SafeCommit()
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "committed"
+		if !res.Committed {
+			status = "REJECTED"
+		}
+		fmt.Printf("%-48s → %s", label, status)
+		for _, v := range res.Violations {
+			fmt.Printf("  [%s: %d tuple(s)]", v.Assertion, len(v.Rows))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	commit("ship 30 bolts from Barcelona",
+		`INSERT INTO shipment VALUES (101, 1, 11, 30)`)
+	commit("ship nuts from Barcelona (no stock record)",
+		`INSERT INTO shipment VALUES (102, 2, 11, 10)`)
+	commit("add stock record, then ship nuts from Barcelona",
+		`INSERT INTO stock VALUES (2, 11, 50);
+		 INSERT INTO shipment VALUES (102, 2, 11, 10)`)
+	commit("activate washer without stocking it",
+		`DELETE FROM product WHERE p_id = 3;
+		 INSERT INTO product VALUES (3, 'washer', TRUE)`)
+	commit("activate washer and stock it",
+		`DELETE FROM product WHERE p_id = 3;
+		 INSERT INTO product VALUES (3, 'washer', TRUE);
+		 INSERT INTO stock VALUES (3, 10, 10)`)
+	commit("drop the last bolt stock in Bordeaux",
+		`DELETE FROM stock WHERE s_product = 1 AND s_warehouse = 10`)
+	commit("receive negative stock correction",
+		`DELETE FROM stock WHERE s_product = 2 AND s_warehouse = 10;
+		 INSERT INTO stock VALUES (2, 10, -5)`)
+
+	fmt.Printf("\nfinal stock rows: %d, shipments: %d\n",
+		db.MustTable("stock").Len(), db.MustTable("shipment").Len())
+}

@@ -1,0 +1,95 @@
+// Quickstart: the smallest end-to-end TINTIN session — define a schema,
+// compile one assertion, run a violating and a clean transaction, and watch
+// safeCommit reject or commit them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tintin/internal/core"
+	"tintin/internal/storage"
+)
+
+func main() {
+	// 1. A database with the paper's two running-example tables.
+	db := storage.NewDB("shop")
+	tool := core.New(db, core.DefaultOptions())
+	eng := tool.Engine()
+
+	mustExec(eng.ExecSQL(`
+		CREATE TABLE orders (
+			o_orderkey INTEGER PRIMARY KEY,
+			o_totalprice REAL
+		);
+		CREATE TABLE lineitem (
+			l_orderkey INTEGER NOT NULL,
+			l_linenumber INTEGER NOT NULL,
+			l_quantity INTEGER,
+			PRIMARY KEY (l_orderkey, l_linenumber),
+			FOREIGN KEY (l_orderkey) REFERENCES orders (o_orderkey)
+		);
+		INSERT INTO orders VALUES (1, 10.5);
+		INSERT INTO lineitem VALUES (1, 1, 5);
+	`))
+
+	// 2. Install TINTIN: event tables (ins_*/del_*) plus capture mode, the
+	// library's stand-in for the paper's INSTEAD OF triggers.
+	if err := tool.Install(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Compile the paper's assertion: every order has at least one line
+	// item. TINTIN rewrites it into incremental SQL views.
+	a, err := tool.AddAssertion(`CREATE ASSERTION atLeastOneLineItem CHECK(
+		NOT EXISTS(
+			SELECT * FROM orders AS o
+			WHERE NOT EXISTS (
+				SELECT * FROM lineitem AS l
+				WHERE l.l_orderkey = o.o_orderkey)))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %s: %d EDCs, %d discarded by optimization\n",
+		a.Name, len(a.EDCs.EDCs), len(a.EDCs.Discarded))
+	names, sqls, _ := tool.ViewsFor(a.Name)
+	for i := range names {
+		fmt.Printf("  view %s:\n    %s\n", names[i], sqls[i])
+	}
+
+	// 4. A violating transaction: an order with no line items.
+	mustExec(eng.ExecSQL(`INSERT INTO orders VALUES (2, 99.0)`))
+	res, err := tool.SafeCommit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntransaction 1 committed=%v\n", res.Committed)
+	for _, v := range res.Violations {
+		fmt.Printf("  %s — offending tuples: ", v)
+		for _, r := range v.Rows {
+			fmt.Print(r.String(), " ")
+		}
+		fmt.Println()
+	}
+
+	// 5. The fixed transaction: order plus line item commits cleanly.
+	mustExec(eng.ExecSQL(`
+		INSERT INTO orders VALUES (2, 99.0);
+		INSERT INTO lineitem VALUES (2, 1, 3);
+	`))
+	res, err = tool.SafeCommit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transaction 2 committed=%v (checked %d views, skipped %d, %.3fms)\n",
+		res.Committed, res.ViewsChecked, res.ViewsSkipped, res.Duration.Seconds()*1000)
+
+	n := db.MustTable("orders").Len()
+	fmt.Printf("orders in the database: %d\n", n)
+}
+
+func mustExec(_ interface{}, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

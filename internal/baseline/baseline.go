@@ -1,0 +1,150 @@
+// Package baseline implements the comparison method of the paper's
+// evaluation: non-incremental integrity checking, i.e. "directly executing
+// the query inside the assertions on the database" after the update has been
+// applied. TINTIN's reported speedups (×89–×2662) are measured against this.
+package baseline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tintin/internal/engine"
+	"tintin/internal/sqlparser"
+	"tintin/internal/sqltypes"
+	"tintin/internal/storage"
+)
+
+// Checker evaluates original assertion queries in full.
+type Checker struct {
+	eng    *engine.Engine
+	names  []string
+	checks []sqlparser.Expr
+}
+
+// New builds a checker over db for the given CREATE ASSERTION statements.
+func New(db *storage.DB, assertionSQL []string) (*Checker, error) {
+	c := &Checker{eng: engine.New(db)}
+	for _, sql := range assertionSQL {
+		st, err := sqlparser.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		ca, ok := st.(*sqlparser.CreateAssertion)
+		if !ok {
+			return nil, fmt.Errorf("baseline: expected CREATE ASSERTION, got %T", st)
+		}
+		c.names = append(c.names, strings.ToLower(ca.Name))
+		c.checks = append(c.checks, ca.Check)
+	}
+	return c, nil
+}
+
+// Violation is one assertion whose check condition is false, with the
+// offending tuples of its outermost violation query when available.
+type Violation struct {
+	Assertion string
+	Rows      []sqltypes.Row
+}
+
+// Result reports one full (non-incremental) check.
+type Result struct {
+	Violations []Violation
+	Duration   time.Duration
+}
+
+// Check evaluates every assertion's violation query against the database's
+// current (post-update) state — the non-incremental method.
+func (c *Checker) Check() (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	for i, check := range c.checks {
+		rows, violated, err := c.evalCheck(check)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %s: %w", c.names[i], err)
+		}
+		if violated {
+			res.Violations = append(res.Violations, Violation{Assertion: c.names[i], Rows: rows})
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// evalCheck evaluates an assertion CHECK condition. The common
+// NOT EXISTS (Q) shape runs Q and reports its rows; anything else is
+// evaluated as a boolean condition.
+func (c *Checker) evalCheck(check sqlparser.Expr) (rows []sqltypes.Row, violated bool, err error) {
+	if ex, ok := check.(*sqlparser.Exists); ok && ex.Negated {
+		res, err := c.eng.Query(ex.Query)
+		if err != nil {
+			return nil, false, err
+		}
+		return res.Rows, len(res.Rows) > 0, nil
+	}
+	// General condition: SELECT it against a constant query is not
+	// expressible in the fragment, so evaluate the negation via EXISTS
+	// handling: build NOT(check) and test satisfiability per conjunct is
+	// overkill — run the check's subqueries through a one-row trick.
+	holds, err := c.evalBoolean(check)
+	if err != nil {
+		return nil, false, err
+	}
+	return nil, !holds, nil
+}
+
+// evalBoolean evaluates a closed boolean condition (no free columns).
+func (c *Checker) evalBoolean(e sqlparser.Expr) (bool, error) {
+	switch x := e.(type) {
+	case *sqlparser.Exists:
+		found := false
+		for cur := x.Query; cur != nil && !found; cur = cur.Union {
+			res, err := c.eng.Query(&sqlparser.Select{
+				Star: cur.Star, Columns: cur.Columns, From: cur.From, Where: cur.Where,
+			})
+			if err != nil {
+				return false, err
+			}
+			found = len(res.Rows) > 0
+		}
+		return found != x.Negated, nil
+	case *sqlparser.Binary:
+		switch x.Op {
+		case sqlparser.OpAnd:
+			l, err := c.evalBoolean(x.L)
+			if err != nil || !l {
+				return false, err
+			}
+			return c.evalBoolean(x.R)
+		case sqlparser.OpOr:
+			l, err := c.evalBoolean(x.L)
+			if err != nil || l {
+				return l, err
+			}
+			return c.evalBoolean(x.R)
+		}
+	case *sqlparser.Not:
+		v, err := c.evalBoolean(x.E)
+		return !v, err
+	}
+	return false, fmt.Errorf("baseline: unsupported closed condition %T", e)
+}
+
+// CheckAfter clones the database, applies the staged events to the clone and
+// runs the full check there — measuring exactly what the paper's
+// non-incremental comparison measures, without disturbing the original.
+// The check runs twice and the second run is reported: the clone starts
+// with cold hash indexes, and charging their one-off construction to the
+// baseline would overstate TINTIN's advantage (the paper's SQL Server had
+// persistent indexes).
+func (c *Checker) CheckAfter(db *storage.DB) (*Result, error) {
+	shadow := db.Clone()
+	if err := shadow.ApplyEvents(); err != nil {
+		return nil, err
+	}
+	sc := &Checker{eng: engine.New(shadow), names: c.names, checks: c.checks}
+	if _, err := sc.Check(); err != nil {
+		return nil, err
+	}
+	return sc.Check()
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tintin/internal/baseline"
+	"tintin/internal/sqltypes"
+	"tintin/internal/tpch"
+)
+
+// The aggregate extension (paper §5 future work): COUNT and SUM conditions
+// in assertions, checked incrementally by decomposing the aggregate over
+// the event tables.
+
+const assertMaxLineItems = `CREATE ASSERTION atMostFourLineItems CHECK(
+  NOT EXISTS (
+    SELECT * FROM orders AS o
+    WHERE (SELECT COUNT(*) FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey) > 4))`
+
+const assertQtyCap = `CREATE ASSERTION totalQuantityCap CHECK(
+  NOT EXISTS (
+    SELECT * FROM orders AS o
+    WHERE (SELECT SUM(l.l_quantity) FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey) > 500))`
+
+func newAggTool(t *testing.T) (*Tool, *tpch.Generator) {
+	t.Helper()
+	db, gen, err := tpch.NewDatabase("tpc", tpch.ScaleOrders("tiny", 80), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := New(db, DefaultOptions())
+	if err := tool.Install(); err != nil {
+		t.Fatal(err)
+	}
+	return tool, gen
+}
+
+func TestAggregateCountAssertion(t *testing.T) {
+	tool, _ := newAggTool(t)
+	a, err := tool.AddAssertion(assertMaxLineItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Surviving EDCs after subsumption: (ι-orders, agg-old),
+	// (old-orders, agg-ins), (old-orders, agg-del).
+	if len(a.EDCs.EDCs) != 3 {
+		t.Errorf("EDCs = %d, want 3:\n%v", len(a.EDCs.EDCs), a.EDCs.EDCs)
+	}
+	db := tool.DB()
+
+	// Order 0 has at most 4 line items (generator invariant). Pushing it
+	// over the cap must be rejected.
+	for ln := 10; ln < 15; ln++ {
+		mustIns(t, db, "ins_lineitem", sqltypes.Row{iv(0), iv(ln), iv(0), iv(0), iv(1)})
+	}
+	res, err := tool.SafeCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("over-cap insert committed")
+	}
+	if res.Violations[0].Assertion != "atmostfourlineitems" {
+		t.Errorf("violation: %+v", res.Violations[0])
+	}
+
+	// Inserting a fresh order with exactly 4 line items commits.
+	mustIns(t, db, "ins_orders", sqltypes.Row{iv(9000), iv(0), fv(1)})
+	for ln := 1; ln <= 4; ln++ {
+		mustIns(t, db, "ins_lineitem", sqltypes.Row{iv(9000), iv(ln), iv(0), iv(0), iv(1)})
+	}
+	res, err = tool.SafeCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("4-line-item order rejected: %+v", res.Violations)
+	}
+
+	// One more line item for that order violates.
+	mustIns(t, db, "ins_lineitem", sqltypes.Row{iv(9000), iv(5), iv(0), iv(0), iv(1)})
+	res, err = tool.SafeCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("5th line item committed")
+	}
+
+	// Deletions cannot violate an upper-bound COUNT: delete one and commit.
+	rows := db.MustTable("lineitem").LookupEqual([]int{0}, []sqltypes.Value{iv(9000)})
+	mustIns(t, db, "del_lineitem", rows[0].Clone())
+	res, err = tool.SafeCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("deletion rejected: %+v", res.Violations)
+	}
+}
+
+func TestAggregateSumAssertion(t *testing.T) {
+	tool, _ := newAggTool(t)
+	if _, err := tool.AddAssertion(assertQtyCap); err != nil {
+		t.Fatal(err)
+	}
+	db := tool.DB()
+
+	// A fresh order totalling exactly 500 commits.
+	mustIns(t, db, "ins_orders", sqltypes.Row{iv(9100), iv(0), fv(1)})
+	mustIns(t, db, "ins_lineitem", sqltypes.Row{iv(9100), iv(1), iv(0), iv(0), iv(500)})
+	res, err := tool.SafeCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("sum=500 rejected: %+v", res.Violations)
+	}
+
+	// One more unit breaks the cap.
+	mustIns(t, db, "ins_lineitem", sqltypes.Row{iv(9100), iv(2), iv(0), iv(0), iv(1)})
+	res, err = tool.SafeCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("sum=501 committed")
+	}
+}
+
+func TestAggregateViewShape(t *testing.T) {
+	tool, _ := newAggTool(t)
+	a, err := tool.AddAssertion(assertMaxLineItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sqls, err := tool.ViewsFor(a.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(sqls, "\n")
+	// The new-state count decomposes over the event tables.
+	for _, want := range []string{"COUNT(*)", "ins_lineitem", "del_lineitem", "+", "-"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("views missing %q:\n%s", want, joined)
+		}
+	}
+	// Views must round-trip through the parser.
+	for _, s := range sqls {
+		if _, err := tool.Engine().QuerySQL(s); err != nil {
+			t.Errorf("view does not evaluate: %v\n%s", err, s)
+		}
+	}
+}
+
+// TestAggregateDifferential compares the incremental aggregate checking
+// against the non-incremental baseline over randomized batches.
+func TestAggregateDifferential(t *testing.T) {
+	tool, _ := newAggTool(t)
+	assertions := []string{assertMaxLineItems, assertQtyCap}
+	for _, a := range assertions {
+		if _, err := tool.AddAssertion(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := tool.DB()
+	bl, err := baseline.New(db, assertions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	nextOrder := 100000
+	nextLine := map[int]int{}
+	lineT := db.MustTable("lineitem")
+
+	for round := 0; round < 200; round++ {
+		for i, n := 0, 1+rng.Intn(6); i < n; i++ {
+			switch rng.Intn(5) {
+			case 0: // new order with random-size line items
+				o := nextOrder
+				nextOrder++
+				mustIns(t, db, "ins_orders", sqltypes.Row{iv(o), iv(0), fv(1)})
+				for ln := 1; ln <= 1+rng.Intn(6); ln++ { // sometimes >4 → violation
+					mustIns(t, db, "ins_lineitem", sqltypes.Row{iv(o), iv(ln), iv(0), iv(0), iv(rng.Intn(200))})
+				}
+			case 1: // extra line items on an existing order
+				o := rng.Intn(80)
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					ln := 50 + nextLine[o]
+					nextLine[o]++
+					mustIns(t, db, "ins_lineitem", sqltypes.Row{iv(o), iv(ln), iv(0), iv(0), iv(rng.Intn(300))})
+				}
+			case 2: // delete random line items
+				rows := lineT.Rows()
+				if len(rows) == 0 {
+					continue
+				}
+				mustIns(t, db, "del_lineitem", rows[rng.Intn(len(rows))].Clone())
+			case 3: // big quantity on one line item (sum violation likely)
+				o := rng.Intn(80)
+				ln := 80 + nextLine[o]
+				nextLine[o]++
+				mustIns(t, db, "ins_lineitem", sqltypes.Row{iv(o), iv(ln), iv(0), iv(0), iv(400 + rng.Intn(200))})
+			case 4: // delete + reinsert identical (cancels)
+				rows := lineT.Rows()
+				if len(rows) == 0 {
+					continue
+				}
+				r := rows[rng.Intn(len(rows))]
+				mustIns(t, db, "del_lineitem", r.Clone())
+				mustIns(t, db, "ins_lineitem", r.Clone())
+			}
+		}
+
+		blRes, err := bl.CheckAfter(db)
+		if err != nil {
+			t.Fatalf("round %d: baseline: %v", round, err)
+		}
+		res, err := tool.Check()
+		if err != nil {
+			t.Fatalf("round %d: tintin: %v", round, err)
+		}
+		blBad := map[string]bool{}
+		for _, v := range blRes.Violations {
+			blBad[v.Assertion] = true
+		}
+		tinBad := map[string]bool{}
+		for _, v := range res.Violations {
+			tinBad[v.Assertion] = true
+		}
+		for _, a := range tool.Assertions() {
+			if blBad[a.Name] != tinBad[a.Name] {
+				dumpEvents(t, db)
+				t.Fatalf("round %d: %s: baseline=%v tintin=%v",
+					round, a.Name, blBad[a.Name], tinBad[a.Name])
+			}
+		}
+		if len(res.Violations) == 0 {
+			if err := db.ApplyEvents(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			db.TruncateEvents()
+		}
+	}
+}
+
+func TestAggregateTopLevelCondition(t *testing.T) {
+	// A database-wide cardinality cap, no outer FROM at all.
+	tool, _ := newAggTool(t)
+	a, err := tool.AddAssertion(`CREATE ASSERTION supplierCap CHECK (
+		(SELECT COUNT(*) FROM supplier) <= 10000)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.EDCs.EDCs) == 0 {
+		t.Fatal("no EDCs for top-level aggregate")
+	}
+	db := tool.DB()
+	mustIns(t, db, "ins_supplier", sqltypes.Row{iv(999999), sqltypes.NewString("s"), iv(0)})
+	res, err := tool.SafeCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("under-cap insert rejected: %+v", res.Violations)
+	}
+}

@@ -1,0 +1,408 @@
+// Package core implements the TINTIN tool itself: given a database and a set
+// of SQL assertions, it installs event-capture tables (the paper's ins_T /
+// del_T with INSTEAD OF triggers), compiles each assertion through the
+// assertion → denial → EDC → SQL pipeline, stores the incremental queries as
+// views, and provides the safeCommit procedure that checks pending updates
+// and either commits them or reports the violating tuples.
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"tintin/internal/edc"
+	"tintin/internal/engine"
+	"tintin/internal/logic"
+	"tintin/internal/sqlgen"
+	"tintin/internal/sqlparser"
+	"tintin/internal/sqltypes"
+	"tintin/internal/storage"
+)
+
+// Options configures the tool; the zero value disables every optimization.
+type Options struct {
+	// EDC carries the semantic-optimization toggles.
+	EDC edc.Options
+	// SkipEmptyEventViews skips evaluating views whose trigger event tables
+	// are all empty (the paper's "trivially discarded" queries).
+	SkipEmptyEventViews bool
+	// DisableIndexProbes forces full scans in the evaluator (E4 ablation).
+	DisableIndexProbes bool
+}
+
+// DefaultOptions enables everything, matching the paper's tool.
+func DefaultOptions() Options {
+	return Options{EDC: edc.DefaultOptions(), SkipEmptyEventViews: true}
+}
+
+// Assertion is one compiled SQL assertion.
+type Assertion struct {
+	Name   string
+	SQL    string
+	Check  sqlparser.Expr
+	Denial *logic.Translation
+	EDCs   *edc.Set
+	// Views lists the stored view names, one per EDC, in EDC order.
+	Views []string
+}
+
+// Violation reports the rows returned by one incremental view.
+type Violation struct {
+	Assertion string
+	EDC       string
+	View      string
+	Columns   []string
+	Rows      []sqltypes.Row
+}
+
+// String renders a one-line summary.
+func (v Violation) String() string {
+	return fmt.Sprintf("assertion %s violated (%s): %d tuple(s)", v.Assertion, v.EDC, len(v.Rows))
+}
+
+// CommitResult is the outcome of one safeCommit call.
+type CommitResult struct {
+	Committed  bool
+	Violations []Violation
+	// ViewsChecked / ViewsSkipped report the trivial-emptiness discard.
+	ViewsChecked int
+	ViewsSkipped int
+	// CancelledEvents counts ins/del pairs removed by normalization.
+	CancelledEvents int
+	// Duration is the wall time of evaluating the incremental views — the
+	// quantity the paper reports as TINTIN's checking time.
+	Duration time.Duration
+	// NormalizeDuration is the event-normalization overhead, reported
+	// separately (it is per-transaction, not per-assertion).
+	NormalizeDuration time.Duration
+}
+
+// Tool is a TINTIN instance bound to one database.
+type Tool struct {
+	db      *storage.DB
+	eng     *engine.Engine
+	opts    Options
+	order   []string
+	asserts map[string]*Assertion
+}
+
+// New creates a tool over db with the given options.
+func New(db *storage.DB, opts Options) *Tool {
+	t := &Tool{
+		db:      db,
+		eng:     engine.New(db),
+		opts:    opts,
+		asserts: make(map[string]*Assertion),
+	}
+	t.eng.DisableIndexProbes = opts.DisableIndexProbes
+	t.eng.RegisterProcedure("safecommit", func() (*engine.ExecResult, error) {
+		res, err := t.SafeCommit()
+		if err != nil {
+			return nil, err
+		}
+		msg := "committed"
+		if !res.Committed {
+			msg = fmt.Sprintf("rejected: %d assertion violation(s)", len(res.Violations))
+		}
+		return &engine.ExecResult{Message: msg}, nil
+	})
+	return t
+}
+
+// DB returns the underlying database.
+func (t *Tool) DB() *storage.DB { return t.db }
+
+// Engine returns the engine bound to the database (shares procedure
+// registrations, including safeCommit).
+func (t *Tool) Engine() *engine.Engine { return t.eng }
+
+// Install creates the event tables for every base table and enables
+// capture: from here on INSERT/DELETE land in ins_T / del_T and base tables
+// stay untouched until SafeCommit.
+func (t *Tool) Install() error {
+	if err := t.db.InstallEventTables(); err != nil {
+		return err
+	}
+	return t.db.SetCapture(true)
+}
+
+// schemaInfo adapts storage.DB to the logic/edc catalog interfaces.
+type schemaInfo struct{ db *storage.DB }
+
+func (c schemaInfo) TableColumns(name string) ([]string, bool) {
+	// Resolve event tables to their base schema for arity purposes.
+	base := name
+	if b, _, isEvt := storage.IsEventTable(name); isEvt {
+		base = b
+	}
+	tb := c.db.Table(base)
+	if tb == nil {
+		return nil, false
+	}
+	return tb.Schema().ColumnNames(), true
+}
+
+func (c schemaInfo) PrimaryKey(name string) []string {
+	tb := c.db.Table(name)
+	if tb == nil {
+		return nil
+	}
+	return tb.Schema().PrimaryKey
+}
+
+func (c schemaInfo) ForeignKeys(name string) []edc.FK {
+	tb := c.db.Table(name)
+	if tb == nil {
+		return nil
+	}
+	var out []edc.FK
+	for _, fk := range tb.Schema().ForeignKeys {
+		out = append(out, edc.FK{Columns: fk.Columns, RefTable: fk.RefTable, RefColumns: fk.RefColumns})
+	}
+	return out
+}
+
+// AddAssertion parses and compiles a CREATE ASSERTION statement, storing its
+// incremental queries as views.
+func (t *Tool) AddAssertion(sql string) (*Assertion, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	ca, ok := st.(*sqlparser.CreateAssertion)
+	if !ok {
+		return nil, fmt.Errorf("tintin: expected CREATE ASSERTION, got %T", st)
+	}
+	return t.AddAssertionAST(ca, sql)
+}
+
+// AddAssertionAST compiles an already-parsed assertion.
+func (t *Tool) AddAssertionAST(ca *sqlparser.CreateAssertion, sql string) (*Assertion, error) {
+	name := strings.ToLower(ca.Name)
+	if _, dup := t.asserts[name]; dup {
+		return nil, fmt.Errorf("tintin: assertion %s already exists", ca.Name)
+	}
+	info := schemaInfo{t.db}
+	tr, err := logic.Translate(name, ca.Check, info)
+	if err != nil {
+		return nil, err
+	}
+	set, err := edc.Generate(tr, info, t.opts.EDC)
+	if err != nil {
+		return nil, err
+	}
+	gen := sqlgen.New(info, set.Rules)
+	a := &Assertion{Name: name, SQL: sql, Check: ca.Check, Denial: tr, EDCs: set}
+	for i, e := range set.EDCs {
+		sel, err := gen.Select(e)
+		if err != nil {
+			return nil, err
+		}
+		vname := sqlgen.ViewName(name, i)
+		if err := t.db.CreateView(vname, sel); err != nil {
+			return nil, err
+		}
+		a.Views = append(a.Views, vname)
+	}
+	t.asserts[name] = a
+	t.order = append(t.order, name)
+	return a, nil
+}
+
+// Assertions returns the compiled assertions in creation order.
+func (t *Tool) Assertions() []*Assertion {
+	out := make([]*Assertion, 0, len(t.order))
+	for _, n := range t.order {
+		out = append(out, t.asserts[n])
+	}
+	return out
+}
+
+// Assertion returns one compiled assertion, or nil.
+func (t *Tool) Assertion(name string) *Assertion { return t.asserts[strings.ToLower(name)] }
+
+// DropAssertion removes an assertion and its views.
+func (t *Tool) DropAssertion(name string) error {
+	name = strings.ToLower(name)
+	a := t.asserts[name]
+	if a == nil {
+		return fmt.Errorf("tintin: no assertion %s", name)
+	}
+	for _, v := range a.Views {
+		if err := t.db.DropView(v); err != nil {
+			return err
+		}
+	}
+	delete(t.asserts, name)
+	for i, n := range t.order {
+		if n == name {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Check evaluates the incremental views against the pending events without
+// committing or truncating anything. It implements the paper's efficiency
+// mechanism: a view is skipped outright when every event table that could
+// trigger it is empty.
+func (t *Tool) Check() (*CommitResult, error) {
+	res := &CommitResult{}
+	normStart := time.Now()
+	res.CancelledEvents = t.db.NormalizeEvents()
+	res.NormalizeDuration = time.Since(normStart)
+
+	start := time.Now()
+	nonEmpty := map[string]bool{}
+	withIns, withDel := t.db.PendingEvents()
+	for _, n := range withIns {
+		nonEmpty[storage.InsTable(n)] = true
+	}
+	for _, n := range withDel {
+		nonEmpty[storage.DelTable(n)] = true
+	}
+
+	for _, name := range t.order {
+		a := t.asserts[name]
+		for i, e := range a.EDCs.EDCs {
+			if t.opts.SkipEmptyEventViews && !anyTrigger(e.Triggers, nonEmpty) {
+				res.ViewsSkipped++
+				continue
+			}
+			res.ViewsChecked++
+			view := a.Views[i]
+			qr, err := t.eng.QueryView(view)
+			if err != nil {
+				return nil, fmt.Errorf("tintin: evaluating %s: %w", view, err)
+			}
+			if len(qr.Rows) > 0 {
+				res.Violations = append(res.Violations, Violation{
+					Assertion: a.Name,
+					EDC:       e.Name,
+					View:      view,
+					Columns:   qr.Columns,
+					Rows:      qr.Rows,
+				})
+			}
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+func anyTrigger(triggers []string, nonEmpty map[string]bool) bool {
+	for _, tr := range triggers {
+		if nonEmpty[tr] {
+			return true
+		}
+	}
+	return false
+}
+
+// SafeCommit is the paper's safeCommit procedure: it checks the pending
+// update and, when no assertion is violated, applies the events to the base
+// tables; either way the event tables are truncated afterwards so a new
+// update can be proposed.
+func (t *Tool) SafeCommit() (*CommitResult, error) {
+	res, err := t.Check()
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Violations) == 0 {
+		if err := t.db.ApplyEvents(); err != nil {
+			return nil, err
+		}
+		res.Committed = true
+		return res, nil
+	}
+	t.db.TruncateEvents()
+	return res, nil
+}
+
+// ViewsFor returns the view names and their SQL for an assertion, for
+// inspection (demo feature: show the generated incremental queries).
+func (t *Tool) ViewsFor(name string) ([]string, []string, error) {
+	a := t.Assertion(name)
+	if a == nil {
+		return nil, nil, fmt.Errorf("tintin: no assertion %s", name)
+	}
+	sqls := make([]string, len(a.Views))
+	for i, v := range a.Views {
+		sqls[i] = sqlparser.FormatSelect(t.db.View(v))
+	}
+	return append([]string(nil), a.Views...), sqls, nil
+}
+
+// Stats summarizes the compiled state (used by the CLI and tests).
+type Stats struct {
+	Assertions  int
+	EDCs        int
+	Discarded   int
+	Views       int
+	EventTables []string
+}
+
+// Save persists the full tool state — the database (including event tables,
+// pending events and the generated views) plus the assertion definitions —
+// so a TINTIN installation survives a restart, matching the demo's "TINTIN
+// can be disconnected from SQL Server" claim.
+func (t *Tool) Save(w io.Writer) error {
+	if err := t.db.Save(w); err != nil {
+		return err
+	}
+	sqls := make([]string, 0, len(t.order))
+	for _, n := range t.order {
+		sqls = append(sqls, t.asserts[n].SQL)
+	}
+	return gob.NewEncoder(w).Encode(sqls)
+}
+
+// LoadTool restores a tool saved with Save: the database is reconstructed
+// and every assertion recompiled (deterministically reproducing the views).
+func LoadTool(r io.Reader, opts Options) (*Tool, error) {
+	db, err := storage.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	var sqls []string
+	if err := gob.NewDecoder(r).Decode(&sqls); err != nil {
+		return nil, fmt.Errorf("tintin: snapshot assertions: %w", err)
+	}
+	// Views are regenerated by recompiling; drop the persisted copies.
+	for _, vn := range db.ViewNames() {
+		if err := db.DropView(vn); err != nil {
+			return nil, err
+		}
+	}
+	tool := New(db, opts)
+	for _, sql := range sqls {
+		if _, err := tool.AddAssertion(sql); err != nil {
+			return nil, fmt.Errorf("tintin: recompiling persisted assertion: %w", err)
+		}
+	}
+	return tool, nil
+}
+
+// Stats returns compilation statistics.
+func (t *Tool) Stats() Stats {
+	s := Stats{Assertions: len(t.asserts)}
+	for _, a := range t.asserts {
+		s.EDCs += len(a.EDCs.EDCs)
+		s.Discarded += len(a.EDCs.Discarded)
+		s.Views += len(a.Views)
+	}
+	var evts []string
+	for _, n := range t.db.TableNames() {
+		if _, _, isEvt := storage.IsEventTable(n); isEvt {
+			evts = append(evts, n)
+		}
+	}
+	sort.Strings(evts)
+	s.EventTables = evts
+	return s
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tintin/internal/baseline"
+	"tintin/internal/sqltypes"
+	"tintin/internal/tpch"
+)
+
+// TestDerivedPredicateDifferential stresses the derived-predicate EDC path
+// (complex NOT EXISTS subqueries with joins inside): events on the *inner*
+// tables of the subquery must trigger re-checking, which exercises the
+// new-state rules and the Olivé-style falsifier triggers. Verdicts are
+// compared against the non-incremental baseline on every random batch.
+func TestDerivedPredicateDifferential(t *testing.T) {
+	// customerNationInRegion: customer(c,n) violated when its nation-region
+	// chain is broken — by deleting nations, deleting regions, inserting
+	// customers with unknown nations, or re-pointing nations.
+	assertions := []string{tpch.AssertionCustomerNationInRegion}
+	db, _, err := tpch.NewDatabase("tpc", tpch.ScaleOrders("tiny", 60), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := New(db, DefaultOptions())
+	if err := tool.Install(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range assertions {
+		if _, err := tool.AddAssertion(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bl, err := baseline.New(db, assertions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	nextCust := 1000000
+	nextNation := 1000
+
+	custT := db.MustTable("customer")
+	nationT := db.MustTable("nation")
+	regionT := db.MustTable("region")
+
+	for round := 0; round < 200; round++ {
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(7) {
+			case 0: // new customer with an existing nation (clean)
+				nextCust++
+				rows := nationT.Rows()
+				if len(rows) == 0 {
+					continue
+				}
+				nk := rows[rng.Intn(len(rows))][0]
+				mustIns(t, db, "ins_customer", sqltypes.Row{iv(nextCust), sv("c"), nk})
+			case 1: // new customer with an unknown nation (violating)
+				nextCust++
+				mustIns(t, db, "ins_customer", sqltypes.Row{iv(nextCust), sv("c"), iv(5000 + rng.Intn(50))})
+			case 2: // delete a nation (violates customers of that nation)
+				rows := nationT.Rows()
+				if len(rows) == 0 {
+					continue
+				}
+				mustIns(t, db, "del_nation", rows[rng.Intn(len(rows))].Clone())
+			case 3: // delete a region (breaks the chain for its nations' customers)
+				rows := regionT.Rows()
+				if len(rows) == 0 {
+					continue
+				}
+				mustIns(t, db, "del_region", rows[rng.Intn(len(rows))].Clone())
+			case 4: // new nation pointing at an existing region, plus a customer of it (clean)
+				rows := regionT.Rows()
+				if len(rows) == 0 {
+					continue
+				}
+				nextNation++
+				nextCust++
+				rk := rows[rng.Intn(len(rows))][0]
+				mustIns(t, db, "ins_nation", sqltypes.Row{iv(nextNation), sv("n"), rk})
+				mustIns(t, db, "ins_customer", sqltypes.Row{iv(nextCust), sv("c"), iv(nextNation)})
+			case 5: // new nation pointing at a missing region + customer (violating)
+				nextNation++
+				nextCust++
+				mustIns(t, db, "ins_nation", sqltypes.Row{iv(nextNation), sv("n"), iv(9000 + rng.Intn(10))})
+				mustIns(t, db, "ins_customer", sqltypes.Row{iv(nextCust), sv("c"), iv(nextNation)})
+			case 6: // delete a customer (never violates this assertion)
+				rows := custT.Rows()
+				if len(rows) == 0 {
+					continue
+				}
+				mustIns(t, db, "del_customer", rows[rng.Intn(len(rows))].Clone())
+			}
+		}
+
+		blRes, err := bl.CheckAfter(db)
+		if err != nil {
+			t.Fatalf("round %d: baseline: %v", round, err)
+		}
+		res, err := tool.Check()
+		if err != nil {
+			t.Fatalf("round %d: tintin: %v", round, err)
+		}
+		blViolated := len(blRes.Violations) > 0
+		tinViolated := len(res.Violations) > 0
+		if blViolated != tinViolated {
+			dumpEvents(t, db)
+			t.Fatalf("round %d: baseline violated=%v tintin violated=%v",
+				round, blViolated, tinViolated)
+		}
+		if len(res.Violations) == 0 {
+			if err := db.ApplyEvents(); err != nil {
+				t.Fatalf("round %d: apply: %v", round, err)
+			}
+		} else {
+			db.TruncateEvents()
+		}
+	}
+}
+
+func sv(s string) sqltypes.Value { return sqltypes.NewString(s) }

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"tintin/internal/baseline"
+	"tintin/internal/sqltypes"
+	"tintin/internal/storage"
+	"tintin/internal/tpch"
+)
+
+// TestDifferentialAgainstBaseline is the strongest correctness gate in the
+// suite: it generates hundreds of randomized update batches — clean ones,
+// violating ones, and adversarial mixes (orders without line items, orphan
+// line items, deletions of referenced rows, cancelling pairs) — and checks
+// that TINTIN's incremental verdict agrees with the non-incremental
+// baseline (original assertion queries on the post-update state) on every
+// batch, per assertion.
+func TestDifferentialAgainstBaseline(t *testing.T) {
+	assertions := []string{
+		tpch.AssertionAtLeastOneLineItem,
+		tpch.AssertionLineItemHasOrder,
+		tpch.AssertionPositiveQuantity,
+		tpch.AssertionOrderHasCustomer,
+	}
+	db, _, err := tpch.NewDatabase("tpc", tpch.ScaleOrders("tiny", 120), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := New(db, DefaultOptions())
+	if err := tool.Install(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range assertions {
+		if _, err := tool.AddAssertion(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bl, err := baseline.New(db, assertions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	scale := 120
+	nextOrder := scale
+	nextLine := map[int]int{}
+
+	ordersT := db.MustTable("orders")
+	lineT := db.MustTable("lineitem")
+
+	randomBatch := func() {
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(8) {
+			case 0: // new order with a line item (clean)
+				o := nextOrder
+				nextOrder++
+				mustIns(t, db, "ins_orders", sqltypes.Row{iv(o), iv(rng.Intn(12)), fv(10)})
+				mustIns(t, db, "ins_lineitem", sqltypes.Row{iv(o), iv(1), iv(rng.Intn(15)), iv(0), iv(5)})
+			case 1: // new order WITHOUT line item (violates atLeastOne)
+				o := nextOrder
+				nextOrder++
+				mustIns(t, db, "ins_orders", sqltypes.Row{iv(o), iv(rng.Intn(12)), fv(10)})
+			case 2: // orphan line item (violates lineItemHasOrder)
+				o := 1000000 + rng.Intn(50)
+				ln := nextLine[o] + 200
+				nextLine[o]++
+				mustIns(t, db, "ins_lineitem", sqltypes.Row{iv(o), iv(ln), iv(0), iv(0), iv(3)})
+			case 3: // extra line item for an existing order (clean)
+				o := rng.Intn(scale)
+				if len(ordersT.LookupEqual([]int{0}, []sqltypes.Value{iv(o)})) == 0 {
+					continue
+				}
+				ln := 100 + nextLine[o]
+				nextLine[o]++
+				mustIns(t, db, "ins_lineitem", sqltypes.Row{iv(o), iv(ln), iv(0), iv(0), iv(2)})
+			case 4: // delete a random line item (may violate atLeastOne)
+				rows := lineT.Rows()
+				if len(rows) == 0 {
+					continue
+				}
+				mustIns(t, db, "del_lineitem", rows[rng.Intn(len(rows))].Clone())
+			case 5: // delete a random order (may violate lineItemHasOrder)
+				rows := ordersT.Rows()
+				if len(rows) == 0 {
+					continue
+				}
+				mustIns(t, db, "del_orders", rows[rng.Intn(len(rows))].Clone())
+			case 6: // non-positive quantity line item (violates positiveQuantity)
+				o := rng.Intn(scale)
+				ln := 300 + nextLine[o]
+				nextLine[o]++
+				mustIns(t, db, "ins_lineitem", sqltypes.Row{iv(o), iv(ln), iv(0), iv(0), iv(-rng.Intn(3))})
+			case 7: // cancelling pair: delete + reinsert an existing line item
+				rows := lineT.Rows()
+				if len(rows) == 0 {
+					continue
+				}
+				r := rows[rng.Intn(len(rows))]
+				mustIns(t, db, "del_lineitem", r.Clone())
+				mustIns(t, db, "ins_lineitem", r.Clone())
+			}
+		}
+	}
+
+	for round := 0; round < 250; round++ {
+		randomBatch()
+
+		// Baseline verdict on the shadow post-state.
+		blRes, err := bl.CheckAfter(db)
+		if err != nil {
+			t.Fatalf("round %d: baseline: %v", round, err)
+		}
+		blBad := map[string]int{}
+		for _, v := range blRes.Violations {
+			blBad[v.Assertion] = len(v.Rows)
+		}
+
+		// TINTIN verdict (without committing).
+		res, err := tool.Check()
+		if err != nil {
+			t.Fatalf("round %d: tintin: %v", round, err)
+		}
+		tinBad := map[string]map[string]bool{}
+		for _, v := range res.Violations {
+			set := tinBad[v.Assertion]
+			if set == nil {
+				set = map[string]bool{}
+				tinBad[v.Assertion] = set
+			}
+			// Count distinct violating base tuples; different EDC views may
+			// report the same violation with different projections, so key a
+			// canonical prefix (the driving tuple).
+			for _, r := range v.Rows {
+				set[r.String()] = true
+			}
+		}
+
+		for _, a := range tool.Assertions() {
+			_, blViolated := blBad[a.Name]
+			tinViolated := len(tinBad[a.Name]) > 0
+			if blViolated != tinViolated {
+				t.Errorf("round %d: %s: baseline violated=%v tintin violated=%v (baseline rows=%d)",
+					round, a.Name, blViolated, tinViolated, blBad[a.Name])
+				dumpEvents(t, db)
+				t.FailNow()
+			}
+		}
+
+		// Advance the database: commit if clean, else drop the events — and
+		// every ~10th round apply a clean batch to keep the base evolving.
+		if len(res.Violations) == 0 {
+			if err := db.ApplyEvents(); err != nil {
+				t.Fatalf("round %d: apply: %v", round, err)
+			}
+		} else {
+			db.TruncateEvents()
+		}
+	}
+}
+
+func iv(i int) sqltypes.Value     { return sqltypes.NewInt(int64(i)) }
+func fv(f float64) sqltypes.Value { return sqltypes.NewFloat(f) }
+
+func mustIns(t *testing.T, db *storage.DB, table string, r sqltypes.Row) {
+	t.Helper()
+	if err := db.MustTable(table).Insert(r); err != nil {
+		// Duplicate event rows (same tuple deleted twice) are fine to skip.
+		if strings.Contains(err.Error(), "duplicate") {
+			return
+		}
+		t.Fatalf("insert %s: %v", table, err)
+	}
+}
+
+func dumpEvents(t *testing.T, db *storage.DB) {
+	t.Helper()
+	for _, n := range db.TableNames() {
+		if _, _, isEvt := storage.IsEventTable(n); !isEvt {
+			continue
+		}
+		tb := db.MustTable(n)
+		if tb.Len() == 0 {
+			continue
+		}
+		var rows []string
+		tb.Scan(func(r sqltypes.Row) bool {
+			rows = append(rows, r.String())
+			return true
+		})
+		sort.Strings(rows)
+		t.Logf("%s: %s", n, fmt.Sprint(rows))
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestToolSaveAndLoad(t *testing.T) {
+	tool, eng := newTool(t, DefaultOptions())
+	if _, err := tool.AddAssertion(assertPositiveQty); err != nil {
+		t.Fatal(err)
+	}
+	// Leave a pending (violating) event in the snapshot.
+	mustExec(t, eng, `INSERT INTO orders VALUES (7, 1.0)`)
+
+	var buf bytes.Buffer
+	if err := tool.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadTool(&buf, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Assertions()) != 2 {
+		t.Fatalf("assertions = %d, want 2", len(restored.Assertions()))
+	}
+	// The pending event survived and still violates atLeastOneLineItem.
+	res, err := restored.SafeCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed || len(res.Violations) == 0 {
+		t.Fatalf("restored tool missed the pending violation: %+v", res)
+	}
+	// The restored tool keeps working for new transactions.
+	mustExec(t, restored.Engine(), `INSERT INTO orders VALUES (7, 1.0)`)
+	mustExec(t, restored.Engine(), `INSERT INTO lineitem VALUES (7, 1, 2)`)
+	res, err = restored.SafeCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("clean transaction rejected after restore: %+v", res.Violations)
+	}
+}

@@ -1,0 +1,172 @@
+package edc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tintin/internal/logic"
+)
+
+// subsume drops EDCs whose conjunct set strictly contains another EDC's
+// from the same denial: the smaller EDC fires whenever the larger would, so
+// the larger is redundant. Exact duplicates are also removed.
+func (g *generator) subsume() {
+	keys := make([]map[string]bool, len(g.set.EDCs))
+	for i, e := range g.set.EDCs {
+		keys[i] = conjunctSet(e.Body)
+	}
+	dead := make([]bool, len(g.set.EDCs))
+	for i := range g.set.EDCs {
+		if dead[i] {
+			continue
+		}
+		for j := range g.set.EDCs {
+			if i == j || dead[j] || dead[i] {
+				continue
+			}
+			if g.set.EDCs[i].Denial != g.set.EDCs[j].Denial {
+				continue
+			}
+			switch {
+			case isSubset(keys[i], keys[j]) && isSubset(keys[j], keys[i]):
+				if i < j {
+					g.discard(j, &dead[j], "duplicate of "+g.set.EDCs[i].Name)
+				}
+			case isSubset(keys[i], keys[j]):
+				g.discard(j, &dead[j], "subsumed by "+g.set.EDCs[i].Name)
+			}
+		}
+	}
+	g.compact(dead)
+}
+
+// fkDiscard removes EDCs that join a fresh-key insertion ιR with a deletion
+// δS whose declared foreign key references R's primary key on the same
+// terms: rows being deleted existed in the old (consistent) state, so their
+// FK values reference old R keys — never a key being freshly inserted.
+// This is the optimization that discards the paper's EDC 5.
+func (g *generator) fkDiscard() {
+	dead := make([]bool, len(g.set.EDCs))
+	for i, e := range g.set.EDCs {
+		if reason := g.fkUnsatisfiable(e.Body); reason != "" {
+			g.discard(i, &dead[i], reason)
+		}
+	}
+	g.compact(dead)
+}
+
+func (g *generator) fkUnsatisfiable(b logic.Body) string {
+	for _, insLit := range b.Lits {
+		if insLit.Neg || insLit.Atom.Kind != logic.PredIns {
+			continue
+		}
+		r := insLit.Atom.Name
+		pk := g.info.PrimaryKey(r)
+		if len(pk) == 0 {
+			continue
+		}
+		rCols, ok := g.info.TableColumns(r)
+		if !ok {
+			continue
+		}
+		for _, delLit := range b.Lits {
+			if delLit.Neg || delLit.Atom.Kind != logic.PredDel {
+				continue
+			}
+			s := delLit.Atom.Name
+			sCols, ok := g.info.TableColumns(s)
+			if !ok {
+				continue
+			}
+			for _, fk := range g.info.ForeignKeys(s) {
+				if fk.RefTable != r || !sameStrings(fk.RefColumns, pk) {
+					continue
+				}
+				joined := true
+				for k := range fk.Columns {
+					si := indexOf(sCols, fk.Columns[k])
+					ri := indexOf(rCols, fk.RefColumns[k])
+					if si < 0 || ri < 0 ||
+						!logic.SameTerm(delLit.Atom.Args[si], insLit.Atom.Args[ri]) ||
+						delLit.Atom.Args[si].IsConst {
+						joined = false
+						break
+					}
+				}
+				if joined {
+					return fmt.Sprintf("unsatisfiable: del %s joins ins %s on fresh primary key via FK (%s)",
+						s, r, strings.Join(fk.Columns, ","))
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func (g *generator) discard(i int, flag *bool, reason string) {
+	*flag = true
+	g.set.Discarded = append(g.set.Discarded, DiscardedEDC{EDC: g.set.EDCs[i], Reason: reason})
+}
+
+func (g *generator) compact(dead []bool) {
+	kept := g.set.EDCs[:0]
+	for i, e := range g.set.EDCs {
+		if !dead[i] {
+			kept = append(kept, e)
+		}
+	}
+	g.set.EDCs = kept
+}
+
+// conjunctSet canonicalizes a body to a set of conjunct strings.
+func conjunctSet(b logic.Body) map[string]bool {
+	out := make(map[string]bool, len(b.Lits)+len(b.Builtins)+len(b.Aggs))
+	for _, l := range b.Lits {
+		out[l.String()] = true
+	}
+	for _, bi := range b.Builtins {
+		out[bi.String()] = true
+	}
+	for _, a := range b.Aggs {
+		out[a.String()] = true
+	}
+	return out
+}
+
+func isSubset(a, b map[string]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac := append([]string(nil), a...)
+	bc := append([]string(nil), b...)
+	sort.Strings(ac)
+	sort.Strings(bc)
+	for i := range ac {
+		if !strings.EqualFold(ac[i], bc[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func indexOf(ss []string, s string) int {
+	for i, v := range ss {
+		if strings.EqualFold(v, s) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"fmt"
+
+	"tintin/internal/sqlparser"
+	"tintin/internal/sqltypes"
+)
+
+// hasAggregates reports whether a select block's projection uses aggregate
+// functions (which switches it to single-row aggregate evaluation).
+func hasAggregates(sel *sqlparser.Select) bool {
+	if sel.Star {
+		return false
+	}
+	for _, it := range sel.Columns {
+		found := false
+		sqlparser.WalkExpr(it.Expr, func(e sqlparser.Expr) bool {
+			switch x := e.(type) {
+			case *sqlparser.FuncCall:
+				if x.IsAggregate() {
+					found = true
+				}
+				return false
+			case *sqlparser.Exists, *sqlparser.InSubquery, *sqlparser.ScalarSubquery:
+				return false // aggregates inside subqueries belong to them
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// aggState accumulates one aggregate function over the join result.
+type aggState struct {
+	fn    *sqlparser.FuncCall
+	count int64
+	sum   float64
+	isInt bool // all summed inputs were integers
+	first bool
+	mm    sqltypes.Value // running MIN/MAX
+}
+
+// runAggregate evaluates one select block in aggregate mode: every
+// projection item must be a single aggregate call (no GROUP BY support;
+// the paper's fragment has none either).
+func (e *Engine) runAggregate(ex *exec, sel *sqlparser.Select) (sqltypes.Row, error) {
+	states := make([]*aggState, len(sel.Columns))
+	for i, it := range sel.Columns {
+		fc, ok := it.Expr.(*sqlparser.FuncCall)
+		if !ok || !fc.IsAggregate() {
+			return nil, fmt.Errorf("engine: aggregate queries must project aggregate functions only (item %d)", i+1)
+		}
+		states[i] = &aggState{fn: fc, isInt: true, first: true}
+	}
+	ex.skipProject = true
+	defer func() { ex.skipProject = false }()
+	err := ex.run(func(sqltypes.Row) (bool, error) {
+		for _, st := range states {
+			if err := st.accumulate(ex); err != nil {
+				return false, err
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	row := make(sqltypes.Row, len(states))
+	for i, st := range states {
+		row[i] = st.result()
+	}
+	return row, nil
+}
+
+func (st *aggState) accumulate(ex *exec) error {
+	if st.fn.Star { // COUNT(*)
+		st.count++
+		return nil
+	}
+	v, err := ex.evalValue(st.fn.Args[0])
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // aggregates ignore NULLs
+	}
+	switch st.fn.Name {
+	case "COUNT":
+		st.count++
+	case "SUM", "AVG":
+		if !v.IsNumeric() {
+			return fmt.Errorf("engine: %s over non-numeric value %s", st.fn.Name, v)
+		}
+		if v.Kind() != sqltypes.KindInt {
+			st.isInt = false
+		}
+		st.sum += v.Float()
+		st.count++
+	case "MIN", "MAX":
+		if st.first {
+			st.mm = v
+			st.first = false
+			return nil
+		}
+		cmp, ok := sqltypes.Compare(v, st.mm)
+		if !ok {
+			return fmt.Errorf("engine: %s over incomparable values %s and %s", st.fn.Name, v, st.mm)
+		}
+		if (st.fn.Name == "MIN" && cmp < 0) || (st.fn.Name == "MAX" && cmp > 0) {
+			st.mm = v
+		}
+	}
+	return nil
+}
+
+func (st *aggState) result() sqltypes.Value {
+	switch st.fn.Name {
+	case "COUNT":
+		return sqltypes.NewInt(st.count)
+	case "SUM":
+		if st.count == 0 {
+			return sqltypes.Null
+		}
+		if st.isInt {
+			return sqltypes.NewInt(int64(st.sum))
+		}
+		return sqltypes.NewFloat(st.sum)
+	case "AVG":
+		if st.count == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(st.sum / float64(st.count))
+	case "MIN", "MAX":
+		if st.first {
+			return sqltypes.Null
+		}
+		return st.mm
+	}
+	return sqltypes.Null
+}
+
+// evalScalarSubquery evaluates (SELECT ...) in scalar position: exactly one
+// column; zero rows yield NULL; more than one row is an error. Aggregate
+// projections always produce exactly one row.
+func (ex *exec) evalScalarSubquery(sq *sqlparser.ScalarSubquery) (sqltypes.Value, error) {
+	q := sq.Query
+	if q.Union != nil {
+		return sqltypes.Null, fmt.Errorf("engine: UNION is not allowed in scalar subqueries")
+	}
+	sub, err := ex.subExec(q)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if hasAggregates(q) {
+		row, err := ex.eng.runAggregate(sub, q)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if len(row) != 1 {
+			return sqltypes.Null, fmt.Errorf("engine: scalar subquery must produce one column")
+		}
+		return row[0], nil
+	}
+	if q.Star || len(q.Columns) != 1 {
+		return sqltypes.Null, fmt.Errorf("engine: scalar subquery must produce one column")
+	}
+	var out sqltypes.Value = sqltypes.Null
+	n := 0
+	err = sub.run(func(row sqltypes.Row) (bool, error) {
+		n++
+		if n > 1 {
+			return false, fmt.Errorf("engine: scalar subquery returned more than one row")
+		}
+		out = row[0]
+		return true, nil
+	})
+	return out, err
+}

@@ -1,0 +1,458 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"tintin/internal/sqlparser"
+	"tintin/internal/sqltypes"
+	"tintin/internal/storage"
+)
+
+// source is one FROM item: a base table (index-probe capable) or a
+// materialized view result.
+type source struct {
+	alias  string
+	cols   []string
+	colIdx map[string]int
+	table  *storage.Table // non-nil for base tables
+	rows   []sqltypes.Row // materialized rows for views
+}
+
+// scope is the variable environment of one SELECT during evaluation,
+// chained to the enclosing query's scope for correlated subqueries.
+//
+// Conjunct placement guarantees an expression is only evaluated once every
+// source it references is bound, so resolution never needs to know how many
+// sources are currently bound.
+type scope struct {
+	parent *scope
+	srcs   []*source
+	tuple  []sqltypes.Row // current row per source; nil when not yet bound
+}
+
+// lookup resolves a column reference against this scope chain.
+func (s *scope) lookup(qual, name string) (*scope, int, int, error) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if qual != "" {
+			for i, src := range cur.srcs {
+				if src.alias == qual {
+					ci, ok := src.colIdx[name]
+					if !ok {
+						return nil, 0, 0, fmt.Errorf("engine: %s has no column %s", qual, name)
+					}
+					return cur, i, ci, nil
+				}
+			}
+			continue
+		}
+		foundSrc, foundCol := -1, -1
+		for i, src := range cur.srcs {
+			if ci, ok := src.colIdx[name]; ok {
+				if foundSrc >= 0 {
+					return nil, 0, 0, fmt.Errorf("engine: ambiguous column %s", name)
+				}
+				foundSrc, foundCol = i, ci
+			}
+		}
+		if foundSrc >= 0 {
+			return cur, foundSrc, foundCol, nil
+		}
+	}
+	if qual != "" {
+		return nil, 0, 0, fmt.Errorf("engine: unknown table or alias %s", qual)
+	}
+	return nil, 0, 0, fmt.Errorf("engine: unknown column %s", name)
+}
+
+// exec evaluates one SELECT block (no UNION) via index nested loops.
+type exec struct {
+	eng   *Engine
+	sel   *sqlparser.Select
+	scope *scope
+
+	// prefilters reference only constants or outer scopes and run once.
+	prefilters []sqlparser.Expr
+	// filters[k] holds the conjuncts first fully bound once source k is bound.
+	filters [][]sqlparser.Expr
+	// probes[k] holds equality conjuncts usable as index probes on source k.
+	probes [][]probe
+
+	// skipProject suppresses leaf projection (aggregate mode accumulates
+	// from the bound scope instead).
+	skipProject bool
+
+	// subs caches subquery executions so correlated EXISTS/IN subqueries are
+	// planned once per enclosing query, not once per outer row.
+	subs map[*sqlparser.Select]*exec
+	// inMemo caches fully-materialized results of uncorrelated IN
+	// subqueries (value-set plus null flag).
+	inMemo map[*sqlparser.InSubquery]*inSet
+}
+
+// inSet is a materialized IN-subquery result.
+type inSet struct {
+	vals    map[string]bool
+	sawNull bool
+}
+
+// subExec returns a cached exec for one subquery SELECT block, rooted at
+// this exec's scope.
+func (ex *exec) subExec(q *sqlparser.Select) (*exec, error) {
+	if sub, ok := ex.subs[q]; ok {
+		return sub, nil
+	}
+	sub, err := ex.eng.newExec(q, ex.scope)
+	if err != nil {
+		return nil, err
+	}
+	if ex.subs == nil {
+		ex.subs = make(map[*sqlparser.Select]*exec)
+	}
+	ex.subs[q] = sub
+	return sub, nil
+}
+
+// existsSub evaluates [branches of] a subquery for EXISTS semantics with
+// early exit, reusing cached plans.
+func (ex *exec) existsSub(q *sqlparser.Select) (bool, error) {
+	for cur := q; cur != nil; cur = cur.Union {
+		sub, err := ex.subExec(cur)
+		if err != nil {
+			return false, err
+		}
+		found := false
+		err = sub.run(func(sqltypes.Row) (bool, error) {
+			found = true
+			return false, nil
+		})
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+type probe struct {
+	colIdx int            // column offset in source k
+	expr   sqlparser.Expr // expression bound before source k
+}
+
+func (e *Engine) newExec(sel *sqlparser.Select, outer *scope) (*exec, error) {
+	sc := &scope{parent: outer}
+	for _, tr := range sel.From {
+		src, err := e.resolveSource(tr, outer)
+		if err != nil {
+			return nil, err
+		}
+		for _, prev := range sc.srcs {
+			if prev.alias == src.alias {
+				return nil, fmt.Errorf("engine: duplicate alias %s in FROM", src.alias)
+			}
+		}
+		sc.srcs = append(sc.srcs, src)
+	}
+	sc.tuple = make([]sqltypes.Row, len(sc.srcs))
+	ex := &exec{
+		eng:     e,
+		sel:     sel,
+		scope:   sc,
+		filters: make([][]sqlparser.Expr, len(sc.srcs)),
+		probes:  make([][]probe, len(sc.srcs)),
+	}
+	for _, c := range sqlparser.Conjuncts(sel.Where) {
+		if err := ex.placeConjunct(c); err != nil {
+			return nil, err
+		}
+	}
+	return ex, nil
+}
+
+func (e *Engine) resolveSource(tr sqlparser.TableRef, outer *scope) (*source, error) {
+	name := strings.ToLower(tr.Table)
+	alias := strings.ToLower(tr.EffectiveAlias())
+	if t := e.db.Table(name); t != nil {
+		cols := t.Schema().ColumnNames()
+		ci := make(map[string]int, len(cols))
+		for i, c := range cols {
+			ci[c] = i
+		}
+		return &source{alias: alias, cols: cols, colIdx: ci, table: t}, nil
+	}
+	if v := e.db.View(name); v != nil {
+		res, err := e.query(v, outer)
+		if err != nil {
+			return nil, fmt.Errorf("engine: evaluating view %s: %w", name, err)
+		}
+		cols := make([]string, len(res.Columns))
+		ci := make(map[string]int, len(res.Columns))
+		for i, c := range res.Columns {
+			cols[i] = strings.ToLower(c)
+			ci[cols[i]] = i
+		}
+		// SELECT * view outputs are qualified ("o.o_orderkey"); also expose
+		// the bare column name when it is unambiguous and not taken by an
+		// exact column name.
+		bareIdx := map[string]int{}
+		for i, c := range cols {
+			if dot := strings.IndexByte(c, '.'); dot >= 0 {
+				bare := c[dot+1:]
+				if _, taken := bareIdx[bare]; taken {
+					bareIdx[bare] = -1 // ambiguous
+				} else {
+					bareIdx[bare] = i
+				}
+			}
+		}
+		for bare, i := range bareIdx {
+			if i < 0 {
+				continue
+			}
+			if _, taken := ci[bare]; !taken {
+				ci[bare] = i
+			}
+		}
+		return &source{alias: alias, cols: cols, colIdx: ci, rows: res.Rows}, nil
+	}
+	return nil, fmt.Errorf("engine: no table or view named %s", name)
+}
+
+// maxLevel returns the greatest innermost-scope source index referenced by
+// e, or -1 when e references only constants/outer scopes.
+func (ex *exec) maxLevel(e sqlparser.Expr) (int, error) {
+	level := -1
+	var walkErr error
+	sqlparser.WalkExpr(e, func(n sqlparser.Expr) bool {
+		switch x := n.(type) {
+		case *sqlparser.ColumnRef:
+			sc, si, _, err := ex.scope.lookup(x.Qualifier, x.Name)
+			if err != nil {
+				if walkErr == nil {
+					walkErr = err
+				}
+				return false
+			}
+			if sc == ex.scope && si > level {
+				level = si
+			}
+		case *sqlparser.Exists, *sqlparser.InSubquery, *sqlparser.ScalarSubquery:
+			// Subqueries may reference any source of this scope; run them as
+			// late filters.
+			level = len(ex.scope.srcs) - 1
+			return false
+		}
+		return true
+	})
+	return level, walkErr
+}
+
+func (ex *exec) placeConjunct(c sqlparser.Expr) error {
+	lvl, err := ex.maxLevel(c)
+	if err != nil {
+		return err
+	}
+	if lvl < 0 {
+		ex.prefilters = append(ex.prefilters, c)
+		return nil
+	}
+	// Equality probe: src[lvl].col = expr(<lvl or outer), either direction.
+	if !ex.eng.DisableIndexProbes {
+		if b, ok := c.(*sqlparser.Binary); ok && b.Op == sqlparser.OpEq {
+			for _, cand := range [2][2]sqlparser.Expr{{b.L, b.R}, {b.R, b.L}} {
+				p, ok2, err := ex.tryProbe(lvl, cand[0], cand[1])
+				if err != nil {
+					return err
+				}
+				if ok2 {
+					ex.probes[lvl] = append(ex.probes[lvl], p)
+					return nil
+				}
+			}
+		}
+	}
+	ex.filters[lvl] = append(ex.filters[lvl], c)
+	return nil
+}
+
+// tryProbe checks whether colSide is a bare column of source lvl and
+// exprSide is bound before lvl.
+func (ex *exec) tryProbe(lvl int, colSide, exprSide sqlparser.Expr) (probe, bool, error) {
+	cr, ok := colSide.(*sqlparser.ColumnRef)
+	if !ok {
+		return probe{}, false, nil
+	}
+	sc, si, ci, err := ex.scope.lookup(cr.Qualifier, cr.Name)
+	if err != nil || sc != ex.scope || si != lvl {
+		return probe{}, false, nil
+	}
+	otherLvl, err := ex.maxLevel(exprSide)
+	if err != nil {
+		return probe{}, false, err
+	}
+	if otherLvl >= lvl {
+		return probe{}, false, nil
+	}
+	return probe{colIdx: ci, expr: exprSide}, true, nil
+}
+
+func (ex *exec) outputColumns() []string {
+	if ex.sel.Star {
+		var out []string
+		for _, src := range ex.scope.srcs {
+			for _, c := range src.cols {
+				out = append(out, src.alias+"."+c)
+			}
+		}
+		return out
+	}
+	out := make([]string, len(ex.sel.Columns))
+	for i, it := range ex.sel.Columns {
+		switch {
+		case it.Alias != "":
+			out[i] = it.Alias
+		default:
+			if cr, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+				out[i] = cr.Name
+			} else {
+				out[i] = fmt.Sprintf("col%d", i+1)
+			}
+		}
+	}
+	return out
+}
+
+// run drives the index-nested-loop join, calling emit for every result row.
+// emit returning false stops the evaluation early.
+func (ex *exec) run(emit func(sqltypes.Row) (bool, error)) error {
+	for _, f := range ex.prefilters {
+		t, err := ex.evalBool(f)
+		if err != nil {
+			return err
+		}
+		if t != truthTrue {
+			return nil
+		}
+	}
+	_, err := ex.loop(0, emit)
+	return err
+}
+
+func (ex *exec) loop(k int, emit func(sqltypes.Row) (bool, error)) (bool, error) {
+	if k == len(ex.scope.srcs) {
+		if ex.skipProject {
+			return emit(nil)
+		}
+		row, err := ex.project()
+		if err != nil {
+			return false, err
+		}
+		return emit(row)
+	}
+	src := ex.scope.srcs[k]
+
+	tryRow := func(r sqltypes.Row) (bool, error) {
+		ex.scope.tuple[k] = r
+		for _, f := range ex.filters[k] {
+			t, err := ex.evalBool(f)
+			if err != nil {
+				return false, err
+			}
+			if t != truthTrue {
+				return true, nil
+			}
+		}
+		return ex.loop(k+1, emit)
+	}
+
+	if len(ex.probes[k]) > 0 && src.table != nil {
+		offs := make([]int, len(ex.probes[k]))
+		vals := make([]sqltypes.Value, len(ex.probes[k]))
+		for i, p := range ex.probes[k] {
+			offs[i] = p.colIdx
+			v, err := ex.evalValue(p.expr)
+			if err != nil {
+				return false, err
+			}
+			vals[i] = v
+		}
+		for _, r := range src.table.LookupEqual(offs, vals) {
+			cont, err := tryRow(r)
+			if err != nil || !cont {
+				ex.scope.tuple[k] = nil
+				return cont, err
+			}
+		}
+		ex.scope.tuple[k] = nil
+		return true, nil
+	}
+
+	// Scan path: base-table scan or materialized rows, applying any probe
+	// conjuncts as filters.
+	checkProbes := func(r sqltypes.Row) (bool, error) {
+		for _, p := range ex.probes[k] {
+			v, err := ex.evalValue(p.expr)
+			if err != nil {
+				return false, err
+			}
+			if !sqltypes.Equal(r[p.colIdx], v) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	cont := true
+	var scanErr error
+	visit := func(r sqltypes.Row) bool {
+		okp, err := checkProbes(r)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if !okp {
+			return true
+		}
+		c, err := tryRow(r)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		cont = c
+		return c
+	}
+	if src.table != nil {
+		src.table.Scan(visit)
+	} else {
+		for _, r := range src.rows {
+			if !visit(r) {
+				break
+			}
+		}
+	}
+	ex.scope.tuple[k] = nil
+	if scanErr != nil {
+		return false, scanErr
+	}
+	return cont, nil
+}
+
+func (ex *exec) project() (sqltypes.Row, error) {
+	if ex.sel.Star {
+		var row sqltypes.Row
+		for i := range ex.scope.srcs {
+			row = append(row, ex.scope.tuple[i]...)
+		}
+		return row, nil
+	}
+	row := make(sqltypes.Row, len(ex.sel.Columns))
+	for i, it := range ex.sel.Columns {
+		v, err := ex.evalValue(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+
+	"tintin/internal/baseline"
+	"tintin/internal/core"
+)
+
+// Aggregate assertions for E5 — the extension the paper names as future
+// work (§5): COUNT and SUM conditions checked incrementally.
+var e5Assertions = []string{
+	`CREATE ASSERTION atMostTwentyLineItems CHECK(
+  NOT EXISTS (
+    SELECT * FROM orders AS o
+    WHERE (SELECT COUNT(*) FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey) > 20))`,
+	`CREATE ASSERTION totalQuantityCap CHECK(
+  NOT EXISTS (
+    SELECT * FROM orders AS o
+    WHERE (SELECT SUM(l.l_quantity) FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey) > 100000))`,
+}
+
+// RunE5 measures the aggregate extension: incremental COUNT/SUM checking vs
+// re-running the aggregate assertion queries in full. This experiment has no
+// counterpart table in the paper — it covers §5's "extend TINTIN to handle
+// aggregate functions".
+func RunE5(cfg Config) (*Table, error) {
+	gb := cfg.GBs[len(cfg.GBs)-1]
+	mb := cfg.MBs[0]
+	t := &Table{
+		Title:   fmt.Sprintf("E5 (extension): aggregate assertions — %dGB data, %dMB update", gb, mb),
+		Headers: []string{"assertion", "edcs", "tintin", "non-incremental", "speedup"},
+		Notes: []string{
+			"paper §5 names aggregates as future work; this reproduces the COUNT/SUM extension",
+		},
+	}
+	for _, sql := range e5Assertions {
+		tool, gen, err := setup(cfg, gb, core.DefaultOptions(), []string{sql})
+		if err != nil {
+			return nil, err
+		}
+		bl, err := baseline.New(tool.DB(), []string{sql})
+		if err != nil {
+			return nil, err
+		}
+		u, err := gen.CleanUpdateMB(mb)
+		if err != nil {
+			return nil, err
+		}
+		c, err := measure(tool, bl, u)
+		if err != nil {
+			return nil, err
+		}
+		if c.violation {
+			return nil, fmt.Errorf("harness: E5 clean workload reported a violation")
+		}
+		a := tool.Assertions()[0]
+		t.Rows = append(t.Rows, []string{
+			a.Name,
+			fmt.Sprintf("%d", len(a.EDCs.EDCs)),
+			fmtDur(c.tintin),
+			fmtDur(c.baseline),
+			fmt.Sprintf("x%.0f", c.speedup),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,264 @@
+// Package sqlparser implements a lexer, AST and recursive-descent parser for
+// the relational-algebra-equivalent SQL fragment accepted by TINTIN:
+// SELECT with selection/projection/join, EXISTS / NOT EXISTS, IN / NOT IN,
+// UNION, plus the DDL and DML needed to drive the engine (CREATE TABLE /
+// VIEW / ASSERTION, INSERT, DELETE). Aggregates and arithmetic functions are
+// rejected, matching the fragment supported by the paper.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokSymbol // punctuation and operators: ( ) , . ; = <> < <= > >= + - * /
+)
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords upper-cased; identifiers folded to lower case
+	Orig string // original spelling
+	Pos  int    // byte offset in the input
+	Line int    // 1-based line number
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("string %q", t.Orig)
+	default:
+		return fmt.Sprintf("%q", t.Orig)
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "EXISTS": true, "IN": true, "UNION": true,
+	"ALL": true, "DISTINCT": true, "CREATE": true, "TABLE": true,
+	"VIEW": true, "ASSERTION": true, "CHECK": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "DELETE": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "PRIMARY": true, "KEY": true,
+	"FOREIGN": true, "REFERENCES": true, "INTEGER": true, "INT": true,
+	"REAL": true, "FLOAT": true, "VARCHAR": true, "TEXT": true,
+	"BOOLEAN": true, "IS": true, "BETWEEN": true, "DROP": true,
+	"COMMIT": true, "CALL": true,
+}
+
+// Lexer tokenizes a SQL string.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+// SyntaxError describes a lexing or parsing failure with source position.
+type SyntaxError struct {
+	Msg  string
+	Pos  int
+	Line int
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: line %d: %s", e.Line, e.Msg)
+}
+
+func (l *Lexer) errorf(format string, args ...interface{}) error {
+	return &SyntaxError{Msg: fmt.Sprintf(format, args...), Pos: l.pos, Line: l.line}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return l.errorf("unterminated block comment")
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start, line := l.pos, l.line
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start, Line: line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		orig := l.src[start:l.pos]
+		upper := strings.ToUpper(orig)
+		if keywords[upper] {
+			return Token{Kind: TokKeyword, Text: upper, Orig: orig, Pos: start, Line: line}, nil
+		}
+		return Token{Kind: TokIdent, Text: strings.ToLower(orig), Orig: orig, Pos: start, Line: line}, nil
+
+	case c >= '0' && c <= '9':
+		kind := TokInt
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '.' &&
+			l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			kind = TokFloat
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+		}
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			save := l.pos
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			if l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				kind = TokFloat
+				for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+					l.pos++
+				}
+			} else {
+				l.pos = save
+			}
+		}
+		text := l.src[start:l.pos]
+		return Token{Kind: kind, Text: text, Orig: text, Pos: start, Line: line}, nil
+
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errorf("unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			if ch == '\n' {
+				l.line++
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return Token{Kind: TokString, Text: sb.String(), Orig: sb.String(), Pos: start, Line: line}, nil
+
+	case c == '"':
+		// Double-quoted identifier.
+		l.pos++
+		s := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				l.line++
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, l.errorf("unterminated quoted identifier")
+		}
+		name := l.src[s:l.pos]
+		l.pos++
+		return Token{Kind: TokIdent, Text: strings.ToLower(name), Orig: name, Pos: start, Line: line}, nil
+
+	case c == '<':
+		if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '=' || l.src[l.pos+1] == '>') {
+			l.pos += 2
+		} else {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		return Token{Kind: TokSymbol, Text: text, Orig: text, Pos: start, Line: line}, nil
+
+	case c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+		} else {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		return Token{Kind: TokSymbol, Text: text, Orig: text, Pos: start, Line: line}, nil
+
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return Token{Kind: TokSymbol, Text: "<>", Orig: "!=", Pos: start, Line: line}, nil
+		}
+		return Token{}, l.errorf("unexpected character %q", c)
+
+	case strings.IndexByte("(),.;=+-*/", c) >= 0:
+		l.pos++
+		text := l.src[start:l.pos]
+		return Token{Kind: TokSymbol, Text: text, Orig: text, Pos: start, Line: line}, nil
+	}
+	return Token{}, l.errorf("unexpected character %q", c)
+}
+
+// Tokenize lexes the whole input, returning all tokens up to and including EOF.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package sqltypes provides the typed value model shared by the storage
+// engine, the query evaluator and the TINTIN rewriting pipeline.
+//
+// Values are small immutable scalars with SQL-like comparison semantics:
+// integers and floats compare numerically across kinds, NULL compares as
+// unknown (reported via an ok flag), and every non-null value has a stable
+// byte encoding usable as a hash-index key.
+package sqltypes
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported SQL scalar kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "REAL"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an INTEGER value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a REAL value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a VARCHAR value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It panics unless Kind is KindInt.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic("sqltypes: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the numeric payload as float64 for KindInt or KindFloat.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	}
+	panic("sqltypes: Float() on " + v.kind.String())
+}
+
+// Str returns the string payload. It panics unless Kind is KindString.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic("sqltypes: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics unless Kind is KindBool.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic("sqltypes: Bool() on " + v.kind.String())
+	}
+	return v.b
+}
+
+// IsNumeric reports whether v is an INTEGER or REAL.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders v in SQL literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindBool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "?"
+}
+
+// Compare orders two values. The ok result is false when either side is NULL
+// (SQL unknown) or the kinds are incomparable; cmp is then meaningless.
+// Numeric kinds compare with each other; strings and bools compare within
+// their own kind (false < true).
+func Compare(a, b Value) (cmp int, ok bool) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1, true
+			case a.i > b.i:
+				return 1, true
+			}
+			return 0, true
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	}
+	if a.kind != b.kind {
+		return 0, false
+	}
+	switch a.kind {
+	case KindString:
+		return strings.Compare(a.s, b.s), true
+	case KindBool:
+		switch {
+		case !a.b && b.b:
+			return -1, true
+		case a.b && !b.b:
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// Equal reports SQL equality. NULL never equals anything (including NULL).
+func Equal(a, b Value) bool {
+	cmp, ok := Compare(a, b)
+	return ok && cmp == 0
+}
+
+// Identical reports structural identity, treating NULL as identical to NULL
+// and distinguishing 1 (INTEGER) from 1.0 (REAL) only by numeric value.
+// It is the notion of tuple identity used by the storage layer (event
+// normalization, duplicate elimination).
+func Identical(a, b Value) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return a.kind == b.kind
+	}
+	return Equal(a, b)
+}
+
+// EncodeKey appends a stable, injective-per-kind-class encoding of v to dst.
+// Numerically equal INTEGER and REAL values encode identically so that hash
+// index probes agree with Compare.
+func (v Value) EncodeKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 0x00)
+	case KindInt, KindFloat:
+		dst = append(dst, 0x01)
+		f := v.Float()
+		// Integers that fit exactly in float64 share the float encoding.
+		bits := math.Float64bits(f)
+		for s := 56; s >= 0; s -= 8 {
+			dst = append(dst, byte(bits>>uint(s)))
+		}
+		return dst
+	case KindString:
+		dst = append(dst, 0x02)
+		dst = append(dst, v.s...)
+		return append(dst, 0x00)
+	case KindBool:
+		if v.b {
+			return append(dst, 0x03, 0x01)
+		}
+		return append(dst, 0x03, 0x00)
+	}
+	return append(dst, 0xff)
+}
+
+// Row is an ordered tuple of values.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Key encodes the whole row as a hashable string key.
+func (r Row) Key() string {
+	var buf []byte
+	for _, v := range r {
+		buf = v.EncodeKey(buf)
+	}
+	return string(buf)
+}
+
+// KeyOn encodes the projection of r onto the given column offsets.
+func (r Row) KeyOn(cols []int) string {
+	var buf []byte
+	for _, c := range cols {
+		buf = r[c].EncodeKey(buf)
+	}
+	return string(buf)
+}
+
+// String renders the row as a parenthesised SQL tuple.
+func (r Row) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// IdenticalRows reports whether two rows are structurally identical
+// (same length, Identical values position-wise).
+func IdenticalRows(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Identical(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CoerceTo attempts to convert v to the target kind, used when inserting
+// literals into typed columns (e.g. INTEGER literal into a REAL column).
+func (v Value) CoerceTo(k Kind) (Value, error) {
+	if v.kind == k || v.kind == KindNull {
+		return v, nil
+	}
+	switch {
+	case v.kind == KindInt && k == KindFloat:
+		return NewFloat(float64(v.i)), nil
+	case v.kind == KindFloat && k == KindInt:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
+			return NewInt(int64(v.f)), nil
+		}
+		return Null, fmt.Errorf("sqltypes: cannot coerce %s to INTEGER without loss", v)
+	}
+	return Null, fmt.Errorf("sqltypes: cannot coerce %s (%s) to %s", v, v.kind, k)
+}

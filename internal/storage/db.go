@@ -1,0 +1,438 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tintin/internal/sqlparser"
+	"tintin/internal/sqltypes"
+)
+
+// Event-table name prefixes, mirroring the paper's ins_T / del_T tables.
+const (
+	InsPrefix = "ins_"
+	DelPrefix = "del_"
+)
+
+// InsTable returns the insertion event table name for base table t.
+func InsTable(t string) string { return InsPrefix + t }
+
+// DelTable returns the deletion event table name for base table t.
+func DelTable(t string) string { return DelPrefix + t }
+
+// IsEventTable reports whether name is an event table and returns the base
+// table name.
+func IsEventTable(name string) (base string, isIns, ok bool) {
+	switch {
+	case strings.HasPrefix(name, InsPrefix):
+		return name[len(InsPrefix):], true, true
+	case strings.HasPrefix(name, DelPrefix):
+		return name[len(DelPrefix):], false, true
+	}
+	return "", false, false
+}
+
+// DB is a named collection of tables and views with an optional
+// event-capture mode.
+//
+// With capture enabled (TINTIN installed), Insert and Delete do not touch
+// the base tables: insertions land in ins_T and deletions in del_T, exactly
+// like the paper's INSTEAD OF triggers. ApplyEvents later replays them onto
+// the base tables.
+type DB struct {
+	Name string
+
+	tables map[string]*Table
+	views  map[string]*sqlparser.Select
+	// viewOrder keeps deterministic iteration for introspection commands.
+	viewOrder []string
+
+	capture bool
+}
+
+// NewDB returns an empty database.
+func NewDB(name string) *DB {
+	return &DB{
+		Name:   name,
+		tables: make(map[string]*Table),
+		views:  make(map[string]*sqlparser.Select),
+	}
+}
+
+// CreateTable adds a table with the given schema.
+func (db *DB) CreateTable(s *Schema) (*Table, error) {
+	if _, exists := db.tables[s.Name]; exists {
+		return nil, fmt.Errorf("storage: table %s already exists", s.Name)
+	}
+	if _, exists := db.views[s.Name]; exists {
+		return nil, fmt.Errorf("storage: %s already exists as a view", s.Name)
+	}
+	t := NewTable(s)
+	db.tables[s.Name] = t
+	return t, nil
+}
+
+// CreateTableFromAST creates a table from a parsed CREATE TABLE statement.
+func (db *DB) CreateTableFromAST(ct *sqlparser.CreateTable) (*Table, error) {
+	cols := make([]Column, len(ct.Columns))
+	var pk []string
+	for i, c := range ct.Columns {
+		cols[i] = Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull}
+		if c.PrimaryKey {
+			pk = append(pk, c.Name)
+		}
+	}
+	if len(ct.PrimaryKey) > 0 {
+		if len(pk) > 0 {
+			return nil, fmt.Errorf("storage: table %s: both column-level and table-level PRIMARY KEY", ct.Name)
+		}
+		pk = ct.PrimaryKey
+	}
+	fks := make([]ForeignKey, len(ct.ForeignKeys))
+	for i, fk := range ct.ForeignKeys {
+		fks[i] = ForeignKey{Columns: fk.Columns, RefTable: fk.RefTable, RefColumns: fk.RefColumns}
+	}
+	schema, err := NewSchema(ct.Name, cols, pk, fks)
+	if err != nil {
+		return nil, err
+	}
+	return db.CreateTable(schema)
+}
+
+// DropTable removes a table (and its event tables, if present).
+func (db *DB) DropTable(name string) error {
+	name = strings.ToLower(name)
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("storage: no table %s", name)
+	}
+	delete(db.tables, name)
+	delete(db.tables, InsTable(name))
+	delete(db.tables, DelTable(name))
+	return nil
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[strings.ToLower(name)] }
+
+// MustTable returns the named table or panics; for tests and generators
+// operating on schemas they just created.
+func (db *DB) MustTable(name string) *Table {
+	t := db.Table(name)
+	if t == nil {
+		panic("storage: no table " + name)
+	}
+	return t
+}
+
+// TableNames returns all table names in sorted order.
+func (db *DB) TableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BaseTableNames returns the non-event tables in sorted order.
+func (db *DB) BaseTableNames() []string {
+	var out []string
+	for n := range db.tables {
+		if _, _, isEvt := IsEventTable(n); !isEvt {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateView registers a named view.
+func (db *DB) CreateView(name string, sel *sqlparser.Select) error {
+	name = strings.ToLower(name)
+	if _, exists := db.tables[name]; exists {
+		return fmt.Errorf("storage: %s already exists as a table", name)
+	}
+	if _, exists := db.views[name]; exists {
+		return fmt.Errorf("storage: view %s already exists", name)
+	}
+	db.views[name] = sel
+	db.viewOrder = append(db.viewOrder, name)
+	return nil
+}
+
+// DropView removes a view.
+func (db *DB) DropView(name string) error {
+	name = strings.ToLower(name)
+	if _, ok := db.views[name]; !ok {
+		return fmt.Errorf("storage: no view %s", name)
+	}
+	delete(db.views, name)
+	for i, n := range db.viewOrder {
+		if n == name {
+			db.viewOrder = append(db.viewOrder[:i], db.viewOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// View returns the named view definition, or nil.
+func (db *DB) View(name string) *sqlparser.Select { return db.views[strings.ToLower(name)] }
+
+// ViewNames returns view names in creation order.
+func (db *DB) ViewNames() []string { return append([]string(nil), db.viewOrder...) }
+
+// ForeignKeysInto returns, for every table, the foreign keys referencing ref.
+func (db *DB) ForeignKeysInto(ref string) map[string][]ForeignKey {
+	ref = strings.ToLower(ref)
+	out := make(map[string][]ForeignKey)
+	for name, t := range db.tables {
+		for _, fk := range t.Schema().ForeignKeys {
+			if fk.RefTable == ref {
+				out[name] = append(out[name], fk)
+			}
+		}
+	}
+	return out
+}
+
+// --- event capture ---
+
+// InstallEventTables creates ins_T / del_T for every base table that does
+// not have them yet. Event tables have the base schema without keys or
+// NOT NULL constraints (they hold pending, not-yet-validated tuples).
+func (db *DB) InstallEventTables() error {
+	for _, name := range db.BaseTableNames() {
+		base := db.tables[name]
+		for _, evt := range []string{InsTable(name), DelTable(name)} {
+			if db.tables[evt] != nil {
+				continue
+			}
+			s := base.Schema().Clone(evt)
+			for i := range s.Columns {
+				s.Columns[i].NotNull = false
+			}
+			if _, err := db.CreateTable(s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SetCapture toggles event-capture mode. Enabling requires event tables.
+func (db *DB) SetCapture(on bool) error {
+	if on {
+		for _, name := range db.BaseTableNames() {
+			if db.tables[InsTable(name)] == nil || db.tables[DelTable(name)] == nil {
+				return fmt.Errorf("storage: event tables for %s missing; call InstallEventTables first", name)
+			}
+		}
+	}
+	db.capture = on
+	return nil
+}
+
+// CaptureEnabled reports whether updates are being captured.
+func (db *DB) CaptureEnabled() bool { return db.capture }
+
+// Insert stores a row in table name, or in ins_name under capture.
+func (db *DB) Insert(name string, r sqltypes.Row) error {
+	name = strings.ToLower(name)
+	t := db.tables[name]
+	if t == nil {
+		return fmt.Errorf("storage: no table %s", name)
+	}
+	if _, _, isEvt := IsEventTable(name); db.capture && !isEvt {
+		return db.tables[InsTable(name)].Insert(r)
+	}
+	return t.Insert(r)
+}
+
+// DeleteWhere removes rows matching match from table name; under capture the
+// matching rows are copied into del_name instead and the base table is left
+// untouched. Returns the number of affected rows.
+func (db *DB) DeleteWhere(name string, match func(sqltypes.Row) bool) (int, error) {
+	name = strings.ToLower(name)
+	t := db.tables[name]
+	if t == nil {
+		return 0, fmt.Errorf("storage: no table %s", name)
+	}
+	if _, _, isEvt := IsEventTable(name); db.capture && !isEvt {
+		del := db.tables[DelTable(name)]
+		n := 0
+		var err error
+		t.Scan(func(r sqltypes.Row) bool {
+			if match(r) {
+				if !del.ContainsRow(r) { // idempotent capture
+					if e := del.Insert(r.Clone()); e != nil {
+						err = e
+						return false
+					}
+				}
+				n++
+			}
+			return true
+		})
+		return n, err
+	}
+	return t.Delete(match), nil
+}
+
+// PendingEvents reports the base tables that currently have pending
+// insertions or deletions.
+func (db *DB) PendingEvents() (withIns, withDel []string) {
+	for _, name := range db.BaseTableNames() {
+		if t := db.tables[InsTable(name)]; t != nil && t.Len() > 0 {
+			withIns = append(withIns, name)
+		}
+		if t := db.tables[DelTable(name)]; t != nil && t.Len() > 0 {
+			withDel = append(withDel, name)
+		}
+	}
+	return withIns, withDel
+}
+
+// NormalizeEvents removes tuples that appear in both ins_T and del_T (their
+// net effect is nil), establishing the disjointness the EDC substitution
+// formulas assume. It returns the number of cancelled tuple pairs.
+func (db *DB) NormalizeEvents() int {
+	cancelled := 0
+	for _, name := range db.BaseTableNames() {
+		ins := db.tables[InsTable(name)]
+		del := db.tables[DelTable(name)]
+		if ins == nil || del == nil || ins.Len() == 0 || del.Len() == 0 {
+			continue
+		}
+		var dup []sqltypes.Row
+		ins.Scan(func(r sqltypes.Row) bool {
+			if del.ContainsRow(r) {
+				dup = append(dup, r)
+			}
+			return true
+		})
+		for _, r := range dup {
+			if ins.DeleteRow(r) && del.DeleteRow(r) {
+				cancelled++
+			}
+		}
+	}
+	return cancelled
+}
+
+// ApplyEvents replays pending events onto the base tables (deletions first,
+// then insertions) and truncates the event tables — the commit step of
+// safeCommit. Capture is suspended during the replay, mirroring the paper's
+// "disable the triggers, apply, re-enable" sequence.
+func (db *DB) ApplyEvents() error {
+	saved := db.capture
+	db.capture = false
+	defer func() { db.capture = saved }()
+
+	for _, name := range db.BaseTableNames() {
+		base := db.tables[name]
+		del := db.tables[DelTable(name)]
+		if del != nil && del.Len() > 0 {
+			del.Scan(func(r sqltypes.Row) bool {
+				base.DeleteRow(r)
+				return true
+			})
+		}
+	}
+	for _, name := range db.BaseTableNames() {
+		base := db.tables[name]
+		ins := db.tables[InsTable(name)]
+		if ins == nil || ins.Len() == 0 {
+			continue
+		}
+		var err error
+		ins.Scan(func(r sqltypes.Row) bool {
+			if e := base.Insert(r.Clone()); e != nil {
+				err = fmt.Errorf("storage: applying events to %s: %w", name, e)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	db.TruncateEvents()
+	return nil
+}
+
+// TruncateEvents clears every event table (the last step of safeCommit, and
+// the rejection path).
+func (db *DB) TruncateEvents() {
+	for _, name := range db.BaseTableNames() {
+		if t := db.tables[InsTable(name)]; t != nil {
+			t.Truncate()
+		}
+		if t := db.tables[DelTable(name)]; t != nil {
+			t.Truncate()
+		}
+	}
+}
+
+// CheckForeignKeys verifies every declared FK on the current base-table
+// state, returning a description of each violation (used by tests and the
+// baseline applier).
+func (db *DB) CheckForeignKeys() []string {
+	var issues []string
+	for _, name := range db.BaseTableNames() {
+		t := db.tables[name]
+		for _, fk := range t.Schema().ForeignKeys {
+			ref := db.tables[fk.RefTable]
+			if ref == nil {
+				issues = append(issues, fmt.Sprintf("%s: FK references missing table %s", name, fk.RefTable))
+				continue
+			}
+			srcOffs := make([]int, len(fk.Columns))
+			for i, c := range fk.Columns {
+				srcOffs[i] = t.Schema().ColumnIndex(c)
+			}
+			refOffs := make([]int, len(fk.RefColumns))
+			for i, c := range fk.RefColumns {
+				refOffs[i] = ref.Schema().ColumnIndex(c)
+			}
+			t.Scan(func(r sqltypes.Row) bool {
+				vals := make([]sqltypes.Value, len(srcOffs))
+				null := false
+				for i, o := range srcOffs {
+					vals[i] = r[o]
+					null = null || r[o].IsNull()
+				}
+				if !null && !ref.ContainsEqual(refOffs, vals) {
+					issues = append(issues, fmt.Sprintf("%s%s violates FK to %s", name, r, fk.RefTable))
+				}
+				return true
+			})
+		}
+	}
+	return issues
+}
+
+// Clone deep-copies the database (tables, rows and views). Indexes are not
+// copied; they rebuild lazily. Used by the non-incremental baseline to apply
+// an update to a shadow state.
+func (db *DB) Clone() *DB {
+	nd := NewDB(db.Name)
+	for name, t := range db.tables {
+		nt := NewTable(t.Schema())
+		t.Scan(func(r sqltypes.Row) bool {
+			nt.insertRaw(r.Clone())
+			if nt.pkIndex != nil {
+				nt.pkIndex[r.KeyOn(nt.schema.PrimaryKeyOffsets())] = nt.lastSlot
+			}
+			return true
+		})
+		nd.tables[name] = nt
+	}
+	for name, v := range db.views {
+		nd.views[name] = v
+	}
+	nd.viewOrder = append([]string(nil), db.viewOrder...)
+	nd.capture = db.capture
+	return nd
+}

@@ -1,0 +1,74 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"tintin/internal/sqlparser"
+	"tintin/internal/sqltypes"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := newTestDB(t)
+	if err := db.Insert("orders", row(1, 7, 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("orders", sqltypes.Row{sqltypes.NewInt(2), sqltypes.Null, sqltypes.Null}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InstallEventTables(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetCapture(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("orders", row(3, 3, 3.0)); err != nil { // pending event
+		t.Fatal(err)
+	}
+	sel, err := sqlparser.ParseSelect("SELECT * FROM orders WHERE o_custkey = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("v7", sel); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != db.Name || !got.CaptureEnabled() {
+		t.Errorf("db meta lost: name=%s capture=%v", got.Name, got.CaptureEnabled())
+	}
+	if got.MustTable("orders").Len() != 2 {
+		t.Errorf("orders rows = %d, want 2", got.MustTable("orders").Len())
+	}
+	if got.MustTable("ins_orders").Len() != 1 {
+		t.Errorf("pending events lost")
+	}
+	if got.View("v7") == nil {
+		t.Error("view lost")
+	}
+	// NULLs survive.
+	if !got.MustTable("orders").ContainsRow(sqltypes.Row{sqltypes.NewInt(2), sqltypes.Null, sqltypes.Null}) {
+		t.Error("NULL row lost")
+	}
+	// Primary keys are enforced after load.
+	if err := got.MustTable("orders").Insert(row(1, 0, 0.0)); err == nil {
+		t.Error("PK not restored")
+	}
+	// Foreign keys survive.
+	if len(got.MustTable("lineitem").Schema().ForeignKeys) != 1 {
+		t.Error("FKs lost")
+	}
+}
+
+func TestSnapshotBadInput(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

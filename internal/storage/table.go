@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"fmt"
+
+	"tintin/internal/sqltypes"
+)
+
+// Table is a tombstoned in-memory row store with hash indexes.
+//
+// Rows keep their slot for their lifetime; deletion marks a tombstone and
+// recycles the slot on a free list. Indexes map encoded key bytes to slot
+// lists and are maintained eagerly on insert and lazily compacted on lookup.
+type Table struct {
+	schema *Schema
+
+	rows  []sqltypes.Row
+	alive []bool
+	free  []int
+	live  int
+
+	pkIndex  map[string]int    // primary key -> slot (only when PK declared)
+	indexes  map[string]*index // column-set key -> secondary index
+	lastSlot int               // slot used by the most recent insertRaw
+}
+
+type index struct {
+	cols  []int
+	slots map[string][]int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema *Schema) *Table {
+	t := &Table{
+		schema:  schema,
+		indexes: make(map[string]*index),
+	}
+	if len(schema.PrimaryKey) > 0 {
+		t.pkIndex = make(map[string]int)
+	}
+	return t
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return t.live }
+
+func indexKey(cols []int) string {
+	b := make([]byte, 0, len(cols)*3)
+	for _, c := range cols {
+		b = append(b, byte(c>>8), byte(c), ':')
+	}
+	return string(b)
+}
+
+// EnsureIndex builds a hash index over the named columns if one does not
+// already exist.
+func (t *Table) EnsureIndex(cols ...string) error {
+	offs := make([]int, len(cols))
+	for i, c := range cols {
+		off := t.schema.ColumnIndex(c)
+		if off < 0 {
+			return fmt.Errorf("storage: table %s: no column %s to index", t.Name(), c)
+		}
+		offs[i] = off
+	}
+	t.ensureIndexOffsets(offs)
+	return nil
+}
+
+func (t *Table) ensureIndexOffsets(offs []int) *index {
+	key := indexKey(offs)
+	if ix, ok := t.indexes[key]; ok {
+		return ix
+	}
+	ix := &index{cols: append([]int(nil), offs...), slots: make(map[string][]int)}
+	for slot, r := range t.rows {
+		if t.alive[slot] {
+			k := r.KeyOn(ix.cols)
+			ix.slots[k] = append(ix.slots[k], slot)
+		}
+	}
+	t.indexes[key] = ix
+	return ix
+}
+
+// HasIndexOn reports whether an index over exactly these column offsets exists.
+func (t *Table) HasIndexOn(offs []int) bool {
+	_, ok := t.indexes[indexKey(offs)]
+	return ok
+}
+
+// Insert validates and stores a row. With a declared primary key, duplicate
+// keys are rejected.
+func (t *Table) Insert(r sqltypes.Row) error {
+	r, err := t.schema.CheckRow(r)
+	if err != nil {
+		return err
+	}
+	if t.pkIndex != nil {
+		k := r.KeyOn(t.schema.PrimaryKeyOffsets())
+		if _, dup := t.pkIndex[k]; dup {
+			return fmt.Errorf("storage: table %s: duplicate primary key %s", t.Name(), r)
+		}
+		defer func() { t.pkIndex[k] = t.lastSlot }()
+	}
+	t.insertRaw(r)
+	return nil
+}
+
+func (t *Table) insertRaw(r sqltypes.Row) {
+	var slot int
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[slot] = r
+		t.alive[slot] = true
+	} else {
+		slot = len(t.rows)
+		t.rows = append(t.rows, r)
+		t.alive = append(t.alive, true)
+	}
+	t.live++
+	t.lastSlot = slot
+	for _, ix := range t.indexes {
+		k := r.KeyOn(ix.cols)
+		ix.slots[k] = append(ix.slots[k], slot)
+	}
+}
+
+// Scan calls yield for every live row; returning false stops the scan.
+// The yielded row must not be mutated.
+func (t *Table) Scan(yield func(sqltypes.Row) bool) {
+	for slot, r := range t.rows {
+		if t.alive[slot] {
+			if !yield(r) {
+				return
+			}
+		}
+	}
+}
+
+// Rows returns a snapshot copy of all live rows.
+func (t *Table) Rows() []sqltypes.Row {
+	out := make([]sqltypes.Row, 0, t.live)
+	t.Scan(func(r sqltypes.Row) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// LookupEqual returns the live rows whose columns at offs equal vals,
+// using (and if needed building) a hash index.
+func (t *Table) LookupEqual(offs []int, vals []sqltypes.Value) []sqltypes.Row {
+	for _, v := range vals {
+		if v.IsNull() {
+			return nil // NULL never equals anything
+		}
+	}
+	ix := t.ensureIndexOffsets(offs)
+	var kb []byte
+	for _, v := range vals {
+		kb = v.EncodeKey(kb)
+	}
+	slots := ix.slots[string(kb)]
+	if len(slots) == 0 {
+		return nil
+	}
+	out := make([]sqltypes.Row, 0, len(slots))
+	for _, s := range slots {
+		out = append(out, t.rows[s])
+	}
+	return out
+}
+
+// ContainsEqual reports whether any live row matches vals at offs.
+func (t *Table) ContainsEqual(offs []int, vals []sqltypes.Value) bool {
+	return len(t.LookupEqual(offs, vals)) > 0
+}
+
+// ContainsRow reports whether an identical row exists (tuple identity:
+// NULL matches NULL).
+func (t *Table) ContainsRow(r sqltypes.Row) bool {
+	if len(r) != len(t.schema.Columns) {
+		return false
+	}
+	ix := t.ensureIndexOffsets(t.allColumnOffsets())
+	for _, s := range ix.slots[r.Key()] {
+		if sqltypes.IdenticalRows(t.rows[s], r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Delete removes every live row for which match returns true and reports
+// how many were removed.
+func (t *Table) Delete(match func(sqltypes.Row) bool) int {
+	n := 0
+	for slot, r := range t.rows {
+		if t.alive[slot] && match(r) {
+			t.deleteSlot(slot)
+			n++
+		}
+	}
+	return n
+}
+
+// DeleteRow removes one row identical to r, reporting whether one was
+// found. It probes the all-columns hash index (tuple identity treats NULL
+// as identical to NULL, and the key encoding agrees), so bulk event
+// application stays linear in the update size rather than the table size.
+func (t *Table) DeleteRow(r sqltypes.Row) bool {
+	if len(r) != len(t.schema.Columns) {
+		return false
+	}
+	ix := t.ensureIndexOffsets(t.allColumnOffsets())
+	for _, s := range ix.slots[r.Key()] {
+		if sqltypes.IdenticalRows(t.rows[s], r) {
+			t.deleteSlot(s)
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Table) allColumnOffsets() []int {
+	out := make([]int, len(t.schema.Columns))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func (t *Table) deleteSlot(slot int) {
+	r := t.rows[slot]
+	t.alive[slot] = false
+	t.rows[slot] = nil
+	t.free = append(t.free, slot)
+	t.live--
+	if t.pkIndex != nil {
+		delete(t.pkIndex, r.KeyOn(t.schema.PrimaryKeyOffsets()))
+	}
+	// Maintain secondary indexes eagerly: a freed slot may be reused by a
+	// row with the same key, so stale bucket entries cannot be detected
+	// lazily.
+	for _, ix := range t.indexes {
+		k := r.KeyOn(ix.cols)
+		bucket := ix.slots[k]
+		for i, s := range bucket {
+			if s == slot {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(ix.slots, k)
+		} else {
+			ix.slots[k] = bucket
+		}
+	}
+}
+
+// Truncate removes all rows and resets indexes.
+func (t *Table) Truncate() {
+	t.rows = t.rows[:0]
+	t.alive = t.alive[:0]
+	t.free = t.free[:0]
+	t.live = 0
+	if t.pkIndex != nil {
+		t.pkIndex = make(map[string]int)
+	}
+	for _, ix := range t.indexes {
+		ix.slots = make(map[string][]int)
+	}
+}
