@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check build test vet test-race bench bench-safecommit e1
+
+## check: the tier-1 gate — vet, build, and test everything.
+check: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## test-race: the experiment harness (and everything else) under the race
+## detector; slower, catches engine/state sharing mistakes.
+test-race:
+	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/
+
+## bench: the full benchmark families (reduced scales; minutes).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+## bench-safecommit: just the hot-path benchmark tracked in
+## BENCH_safecommit.json.
+bench-safecommit:
+	$(GO) test -run '^$$' -bench 'BenchmarkSafeCommit$$' -benchmem .
+
+## e1: print the headline experiment grid at test scale.
+e1:
+	$(GO) test ./internal/harness/ -run TestE1QuickGrid -v

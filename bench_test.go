@@ -302,6 +302,47 @@ func BenchmarkCompileAssertion(b *testing.B) {
 	}
 }
 
+// BenchmarkSafeCommit measures the commit-time hot path this repo
+// optimizes: a safeCommit check over a small staged delta with a warm plan
+// cache and pre-built probe indexes. It also enforces the subsystem's
+// contract — the loop must run entirely on cached plans (no compilations,
+// hence no SQL re-parsing, after installation). Baseline recorded in
+// BENCH_safecommit.json.
+func BenchmarkSafeCommit(b *testing.B) {
+	f := getFixture(b, 1, core.DefaultOptions(), "safecommit", []string{tpch.AssertionAtLeastOneLineItem})
+	u, err := f.gen.CleanUpdate("small", 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := u.Stage(f.tool.DB()); err != nil {
+		b.Fatal(err)
+	}
+	defer f.tool.DB().TruncateEvents()
+	// Warm: one untimed check compiles anything installation left cold.
+	if _, err := f.tool.Check(); err != nil {
+		b.Fatal(err)
+	}
+	warm := f.tool.Engine().PlanCacheStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := f.tool.Check()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			b.Fatal("clean delta flagged")
+		}
+	}
+	b.StopTimer()
+	after := f.tool.Engine().PlanCacheStats()
+	if after.Misses != warm.Misses {
+		b.Fatalf("commit-time checking compiled plans: misses %d -> %d", warm.Misses, after.Misses)
+	}
+	if after.Fallbacks != warm.Fallbacks {
+		b.Fatalf("commit-time checking re-planned non-cacheable views: fallbacks %d -> %d", warm.Fallbacks, after.Fallbacks)
+	}
+}
+
 // BenchmarkSafeCommitApply measures a full safeCommit cycle including the
 // apply step (stage → check → commit), the end-to-end transaction cost.
 func BenchmarkSafeCommitApply(b *testing.B) {

@@ -1,0 +1,3 @@
+module tintin
+
+go 1.22

@@ -48,6 +48,10 @@ type Assertion struct {
 	EDCs   *edc.Set
 	// Views lists the stored view names, one per EDC, in EDC order.
 	Views []string
+	// Triggers is the union of the EDCs' event tables — the assertion's
+	// whole event footprint. safeCommit skips the assertion without looking
+	// at a single view when every one of them is empty.
+	Triggers []string
 }
 
 // Violation reports the rows returned by one incremental view.
@@ -71,6 +75,10 @@ type CommitResult struct {
 	// ViewsChecked / ViewsSkipped report the trivial-emptiness discard.
 	ViewsChecked int
 	ViewsSkipped int
+	// AssertionsSkipped counts assertions discarded by the pre-pass alone:
+	// their whole event footprint was empty, so none of their views were
+	// even considered.
+	AssertionsSkipped int
 	// CancelledEvents counts ins/del pairs removed by normalization.
 	CancelledEvents int
 	// Duration is the wall time of evaluating the incremental views — the
@@ -122,12 +130,24 @@ func (t *Tool) Engine() *engine.Engine { return t.eng }
 
 // Install creates the event tables for every base table and enables
 // capture: from here on INSERT/DELETE land in ins_T / del_T and base tables
-// stay untouched until SafeCommit.
+// stay untouched until SafeCommit. Assertions added before Install have
+// their incremental views compiled now (they reference event tables that
+// only just came into existence).
 func (t *Tool) Install() error {
 	if err := t.db.InstallEventTables(); err != nil {
 		return err
 	}
-	return t.db.SetCapture(true)
+	if err := t.db.SetCapture(true); err != nil {
+		return err
+	}
+	for _, name := range t.order {
+		for _, vname := range t.asserts[name].Views {
+			if err := t.compileView(vname); err != nil {
+				return fmt.Errorf("tintin: compiling %s: %w", vname, err)
+			}
+		}
+	}
+	return nil
 }
 
 // schemaInfo adapts storage.DB to the logic/edc catalog interfaces.
@@ -196,7 +216,7 @@ func (t *Tool) AddAssertionAST(ca *sqlparser.CreateAssertion, sql string) (*Asse
 		return nil, err
 	}
 	gen := sqlgen.New(info, set.Rules)
-	a := &Assertion{Name: name, SQL: sql, Check: ca.Check, Denial: tr, EDCs: set}
+	a := &Assertion{Name: name, SQL: sql, Check: ca.Check, Denial: tr, EDCs: set, Triggers: set.Triggers()}
 	for i, e := range set.EDCs {
 		sel, err := gen.Select(e)
 		if err != nil {
@@ -207,10 +227,36 @@ func (t *Tool) AddAssertionAST(ca *sqlparser.CreateAssertion, sql string) (*Asse
 			return nil, err
 		}
 		a.Views = append(a.Views, vname)
+		if err := t.compileView(vname); err != nil {
+			return nil, fmt.Errorf("tintin: compiling %s: %w", vname, err)
+		}
 	}
 	t.asserts[name] = a
 	t.order = append(t.order, name)
 	return a, nil
+}
+
+// compileView pays the whole parse/resolve/plan/index cost of one
+// incremental view at installation time: the plan is compiled into the
+// engine's cache, and every index its probes — on base and event tables —
+// call for is built now, so commit-time checking only touches the delta.
+// Before Install the view references event tables that don't exist yet;
+// compilation is deferred to Install in that case.
+func (t *Tool) compileView(vname string) error {
+	sel := t.db.View(vname)
+	for _, tb := range sqlparser.TablesReferenced(sel) {
+		if t.db.Table(tb) == nil && t.db.View(tb) == nil {
+			return nil // event tables not installed yet; Install compiles us
+		}
+	}
+	p, err := t.eng.PrepareView(vname)
+	if err != nil {
+		return err
+	}
+	if t.opts.DisableIndexProbes {
+		return nil // the E4 ablation scans on purpose; building indexes would lie
+	}
+	return p.EnsureIndexes()
 }
 
 // Assertions returns the compiled assertions in creation order.
@@ -236,6 +282,7 @@ func (t *Tool) DropAssertion(name string) error {
 		if err := t.db.DropView(v); err != nil {
 			return err
 		}
+		t.eng.ForgetPlan(v)
 	}
 	delete(t.asserts, name)
 	for i, n := range t.order {
@@ -269,6 +316,14 @@ func (t *Tool) Check() (*CommitResult, error) {
 
 	for _, name := range t.order {
 		a := t.asserts[name]
+		// Trivial-emptiness pre-pass: when every event table in the
+		// assertion's footprint is empty (by Len(), no query evaluated),
+		// skip the whole assertion before touching any view.
+		if t.opts.SkipEmptyEventViews && !anyTrigger(a.Triggers, nonEmpty) {
+			res.ViewsSkipped += len(a.Views)
+			res.AssertionsSkipped++
+			continue
+		}
 		for i, e := range a.EDCs.EDCs {
 			if t.opts.SkipEmptyEventViews && !anyTrigger(e.Triggers, nonEmpty) {
 				res.ViewsSkipped++

@@ -97,6 +97,24 @@ type DiscardedEDC struct {
 	Reason string
 }
 
+// Triggers returns the union of the event tables that can fire any EDC in
+// the set, sorted — the assertion's whole event footprint. safeCommit skips
+// the assertion outright when every one of them is empty.
+func (s *Set) Triggers() []string {
+	set := map[string]bool{}
+	for _, e := range s.EDCs {
+		for _, tr := range e.Triggers {
+			set[tr] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func (s *Set) addRule(r logic.Rule) {
 	if s.Rules == nil {
 		s.Rules = make(map[string][]logic.Rule)

@@ -26,6 +26,11 @@ type Engine struct {
 	// DisableIndexProbes forces nested-loop scans everywhere; used by the
 	// E4 ablation to quantify what index probing contributes.
 	DisableIndexProbes bool
+
+	// plans caches compiled view plans by view name (see PrepareView);
+	// planStats counts its traffic.
+	plans     map[string]*PreparedQuery
+	planStats PlanCacheStats
 }
 
 // New returns an engine over db.
@@ -57,23 +62,23 @@ func (e *Engine) Query(sel *sqlparser.Select) (*Result, error) {
 	return e.query(sel, nil)
 }
 
-// QueryView evaluates the named stored view.
+// QueryView evaluates the named stored view through its cached plan.
 func (e *Engine) QueryView(name string) (*Result, error) {
-	v := e.db.View(name)
-	if v == nil {
-		return nil, fmt.Errorf("engine: no view %s", name)
+	p, err := e.PrepareView(name)
+	if err != nil {
+		return nil, err
 	}
-	return e.Query(v)
+	return p.Query()
 }
 
 // ViewNonEmpty reports whether the named view returns at least one row,
-// stopping at the first.
+// stopping at the first; it executes the cached plan.
 func (e *Engine) ViewNonEmpty(name string) (bool, error) {
-	v := e.db.View(name)
-	if v == nil {
-		return false, fmt.Errorf("engine: no view %s", name)
+	p, err := e.PrepareView(name)
+	if err != nil {
+		return false, err
 	}
-	return e.exists(v, nil)
+	return p.NonEmpty()
 }
 
 func (e *Engine) query(sel *sqlparser.Select, outer *scope) (*Result, error) {
@@ -132,11 +137,7 @@ func (e *Engine) exists(sel *sqlparser.Select, outer *scope) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		found := false
-		err = ex.run(func(sqltypes.Row) (bool, error) {
-			found = true
-			return false, nil
-		})
+		found, err := ex.runExists()
 		if err != nil {
 			return false, err
 		}

@@ -77,6 +77,14 @@ type exec struct {
 	filters [][]sqlparser.Expr
 	// probes[k] holds equality conjuncts usable as index probes on source k.
 	probes [][]probe
+	// probeOffs[k] / probeVals[k] are the probe column offsets (fixed at
+	// plan time) and a value scratch buffer, so the join loop performs
+	// index probes without allocating.
+	probeOffs [][]int
+	probeVals [][]sqltypes.Value
+	// probeIdx[k] caches the index handle for source k, resolved on first
+	// probe (or eagerly by PreparedQuery.EnsureIndexes).
+	probeIdx []*storage.Index
 
 	// skipProject suppresses leaf projection (aggregate mode accumulates
 	// from the bound scope instead).
@@ -121,11 +129,7 @@ func (ex *exec) existsSub(q *sqlparser.Select) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		found := false
-		err = sub.run(func(sqltypes.Row) (bool, error) {
-			found = true
-			return false, nil
-		})
+		found, err := sub.runExists()
 		if err != nil {
 			return false, err
 		}
@@ -134,6 +138,20 @@ func (ex *exec) existsSub(q *sqlparser.Select) (bool, error) {
 		}
 	}
 	return false, nil
+}
+
+// runExists runs the block for existence only: projection is suppressed, so
+// the per-row EXISTS probes on the join hot path never materialize tuples.
+func (ex *exec) runExists() (bool, error) {
+	saved := ex.skipProject
+	ex.skipProject = true
+	defer func() { ex.skipProject = saved }()
+	found := false
+	err := ex.run(func(sqltypes.Row) (bool, error) {
+		found = true
+		return false, nil
+	})
+	return found, err
 }
 
 type probe struct {
@@ -167,6 +185,19 @@ func (e *Engine) newExec(sel *sqlparser.Select, outer *scope) (*exec, error) {
 		if err := ex.placeConjunct(c); err != nil {
 			return nil, err
 		}
+	}
+	ex.probeOffs = make([][]int, len(sc.srcs))
+	ex.probeVals = make([][]sqltypes.Value, len(sc.srcs))
+	ex.probeIdx = make([]*storage.Index, len(sc.srcs))
+	for k, ps := range ex.probes {
+		if len(ps) == 0 {
+			continue
+		}
+		ex.probeOffs[k] = make([]int, len(ps))
+		for i, p := range ps {
+			ex.probeOffs[k][i] = p.colIdx
+		}
+		ex.probeVals[k] = make([]sqltypes.Value, len(ps))
 	}
 	return ex, nil
 }
@@ -368,25 +399,39 @@ func (ex *exec) loop(k int, emit func(sqltypes.Row) (bool, error)) (bool, error)
 	}
 
 	if len(ex.probes[k]) > 0 && src.table != nil {
-		offs := make([]int, len(ex.probes[k]))
-		vals := make([]sqltypes.Value, len(ex.probes[k]))
+		vals := ex.probeVals[k]
 		for i, p := range ex.probes[k] {
-			offs[i] = p.colIdx
 			v, err := ex.evalValue(p.expr)
 			if err != nil {
 				return false, err
 			}
 			vals[i] = v
 		}
-		for _, r := range src.table.LookupEqual(offs, vals) {
-			cont, err := tryRow(r)
-			if err != nil || !cont {
-				ex.scope.tuple[k] = nil
-				return cont, err
+		idx := ex.probeIdx[k]
+		if idx == nil {
+			var err error
+			idx, err = src.table.IndexOn(ex.probeOffs[k])
+			if err != nil {
+				return false, err
 			}
+			ex.probeIdx[k] = idx
 		}
+		cont := true
+		var probeErr error
+		idx.ScanEqual(vals, func(r sqltypes.Row) bool {
+			c, err := tryRow(r)
+			if err != nil {
+				probeErr = err
+				return false
+			}
+			cont = c
+			return c
+		})
 		ex.scope.tuple[k] = nil
-		return true, nil
+		if probeErr != nil {
+			return false, probeErr
+		}
+		return cont, nil
 	}
 
 	// Scan path: base-table scan or materialized rows, applying any probe

@@ -43,7 +43,7 @@ func RunE5(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		u, err := gen.CleanUpdateMB(mb)
+		u, err := cfg.cleanUpdate(gen, mb)
 		if err != nil {
 			return nil, err
 		}

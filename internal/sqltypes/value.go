@@ -8,6 +8,7 @@
 package sqltypes
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"strconv"
@@ -202,14 +203,12 @@ func (v Value) EncodeKey(dst []byte) []byte {
 	case KindNull:
 		return append(dst, 0x00)
 	case KindInt, KindFloat:
-		dst = append(dst, 0x01)
-		f := v.Float()
 		// Integers that fit exactly in float64 share the float encoding.
-		bits := math.Float64bits(f)
-		for s := 56; s >= 0; s -= 8 {
-			dst = append(dst, byte(bits>>uint(s)))
-		}
-		return dst
+		bits := math.Float64bits(v.Float())
+		var b [9]byte
+		b[0] = 0x01
+		binary.BigEndian.PutUint64(b[1:], bits)
+		return append(dst, b[:]...)
 	case KindString:
 		dst = append(dst, 0x02)
 		dst = append(dst, v.s...)

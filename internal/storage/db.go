@@ -49,6 +49,10 @@ type DB struct {
 	viewOrder []string
 
 	capture bool
+	// schemaVersion counts table-set changes; compiled query plans cache it
+	// and re-plan when it moves (view redefinition is detected separately,
+	// by definition identity).
+	schemaVersion uint64
 }
 
 // NewDB returns an empty database.
@@ -70,8 +74,13 @@ func (db *DB) CreateTable(s *Schema) (*Table, error) {
 	}
 	t := NewTable(s)
 	db.tables[s.Name] = t
+	db.schemaVersion++
 	return t, nil
 }
+
+// SchemaVersion identifies the current table set; it changes whenever a
+// table is created or dropped, invalidating any cached query plan.
+func (db *DB) SchemaVersion() uint64 { return db.schemaVersion }
 
 // CreateTableFromAST creates a table from a parsed CREATE TABLE statement.
 func (db *DB) CreateTableFromAST(ct *sqlparser.CreateTable) (*Table, error) {
@@ -109,6 +118,7 @@ func (db *DB) DropTable(name string) error {
 	delete(db.tables, name)
 	delete(db.tables, InsTable(name))
 	delete(db.tables, DelTable(name))
+	db.schemaVersion++
 	return nil
 }
 
@@ -434,5 +444,6 @@ func (db *DB) Clone() *DB {
 	}
 	nd.viewOrder = append([]string(nil), db.viewOrder...)
 	nd.capture = db.capture
+	nd.schemaVersion = db.schemaVersion
 	return nd
 }

@@ -22,6 +22,13 @@ type Table struct {
 	pkIndex  map[string]int    // primary key -> slot (only when PK declared)
 	indexes  map[string]*index // column-set key -> secondary index
 	lastSlot int               // slot used by the most recent insertRaw
+
+	// keyBuf is scratch for probe-key encoding, reused across lookups so the
+	// index-nested-loop hot path does not allocate per probe. Tables are not
+	// safe for concurrent use (nothing in the engine is).
+	keyBuf []byte
+	// allCols caches [0..len(columns)) for tuple-identity probes.
+	allCols []int
 }
 
 type index struct {
@@ -155,20 +162,32 @@ func (t *Table) Rows() []sqltypes.Row {
 	return out
 }
 
-// LookupEqual returns the live rows whose columns at offs equal vals,
-// using (and if needed building) a hash index.
-func (t *Table) LookupEqual(offs []int, vals []sqltypes.Value) []sqltypes.Row {
+// slotsFor returns ix's bucket for vals, or nil when any value is NULL
+// (NULL never equals anything). The probe key is encoded into the table's
+// scratch buffer, so probing never allocates.
+func (t *Table) slotsFor(ix *index, vals []sqltypes.Value) []int {
 	for _, v := range vals {
 		if v.IsNull() {
-			return nil // NULL never equals anything
+			return nil
 		}
 	}
-	ix := t.ensureIndexOffsets(offs)
-	var kb []byte
+	kb := t.keyBuf[:0]
 	for _, v := range vals {
 		kb = v.EncodeKey(kb)
 	}
-	slots := ix.slots[string(kb)]
+	t.keyBuf = kb
+	return ix.slots[string(kb)]
+}
+
+// probeSlots resolves (building if needed) the index on offs and probes it.
+func (t *Table) probeSlots(offs []int, vals []sqltypes.Value) []int {
+	return t.slotsFor(t.ensureIndexOffsets(offs), vals)
+}
+
+// LookupEqual returns the live rows whose columns at offs equal vals,
+// using (and if needed building) a hash index.
+func (t *Table) LookupEqual(offs []int, vals []sqltypes.Value) []sqltypes.Row {
+	slots := t.probeSlots(offs, vals)
 	if len(slots) == 0 {
 		return nil
 	}
@@ -179,9 +198,52 @@ func (t *Table) LookupEqual(offs []int, vals []sqltypes.Value) []sqltypes.Row {
 	return out
 }
 
+// Index is a stable handle on one hash index, letting compiled query plans
+// probe repeatedly without re-resolving the column set. The handle stays
+// valid for the lifetime of the table: Truncate and row churn update the
+// underlying buckets in place.
+type Index struct {
+	t  *Table
+	ix *index
+}
+
+// IndexOn builds (if needed) the index over the columns at offs and
+// returns a handle on it.
+func (t *Table) IndexOn(offs []int) (*Index, error) {
+	for _, o := range offs {
+		if o < 0 || o >= len(t.schema.Columns) {
+			return nil, fmt.Errorf("storage: table %s: column offset %d out of range", t.Name(), o)
+		}
+	}
+	return &Index{t: t, ix: t.ensureIndexOffsets(offs)}, nil
+}
+
+// ScanEqual probes the index for vals and yields each matching live row
+// without materializing a result slice; returning false stops the scan.
+// A NULL value matches nothing. yield must not mutate the table.
+func (x *Index) ScanEqual(vals []sqltypes.Value, yield func(sqltypes.Row) bool) {
+	for _, s := range x.t.slotsFor(x.ix, vals) {
+		if !yield(x.t.rows[s]) {
+			return
+		}
+	}
+}
+
 // ContainsEqual reports whether any live row matches vals at offs.
 func (t *Table) ContainsEqual(offs []int, vals []sqltypes.Value) bool {
-	return len(t.LookupEqual(offs, vals)) > 0
+	return len(t.probeSlots(offs, vals)) > 0
+}
+
+// identityKey encodes the whole row into the scratch buffer for the
+// tuple-identity index (NULL encodes like any other value, so NULL matches
+// NULL, agreeing with IdenticalRows).
+func (t *Table) identityKey(r sqltypes.Row) []byte {
+	kb := t.keyBuf[:0]
+	for _, v := range r {
+		kb = v.EncodeKey(kb)
+	}
+	t.keyBuf = kb
+	return kb
 }
 
 // ContainsRow reports whether an identical row exists (tuple identity:
@@ -191,7 +253,7 @@ func (t *Table) ContainsRow(r sqltypes.Row) bool {
 		return false
 	}
 	ix := t.ensureIndexOffsets(t.allColumnOffsets())
-	for _, s := range ix.slots[r.Key()] {
+	for _, s := range ix.slots[string(t.identityKey(r))] {
 		if sqltypes.IdenticalRows(t.rows[s], r) {
 			return true
 		}
@@ -221,7 +283,7 @@ func (t *Table) DeleteRow(r sqltypes.Row) bool {
 		return false
 	}
 	ix := t.ensureIndexOffsets(t.allColumnOffsets())
-	for _, s := range ix.slots[r.Key()] {
+	for _, s := range ix.slots[string(t.identityKey(r))] {
 		if sqltypes.IdenticalRows(t.rows[s], r) {
 			t.deleteSlot(s)
 			return true
@@ -231,11 +293,13 @@ func (t *Table) DeleteRow(r sqltypes.Row) bool {
 }
 
 func (t *Table) allColumnOffsets() []int {
-	out := make([]int, len(t.schema.Columns))
-	for i := range out {
-		out[i] = i
+	if t.allCols == nil {
+		t.allCols = make([]int, len(t.schema.Columns))
+		for i := range t.allCols {
+			t.allCols[i] = i
+		}
 	}
-	return out
+	return t.allCols
 }
 
 func (t *Table) deleteSlot(slot int) {

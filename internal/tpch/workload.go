@@ -94,6 +94,13 @@ func (g *Generator) CleanUpdateMB(mb int) (*Update, error) {
 	return g.cleanUpdateRows(fmt.Sprintf("%dMB", mb), mb*RowsPerMB)
 }
 
+// CleanUpdate builds a clean batch of exactly rows tuples, for harness
+// configurations that scale the update together with the data so the
+// update:data proportion matches the paper's regardless of absolute scale.
+func (g *Generator) CleanUpdate(label string, rows int) (*Update, error) {
+	return g.cleanUpdateRows(label, rows)
+}
+
 func (g *Generator) cleanUpdateRows(label string, target int) (*Update, error) {
 	u := NewUpdate(label)
 	lineitems := g.db.MustTable("lineitem")
@@ -164,7 +171,12 @@ func (g *Generator) cleanUpdateRows(label string, target int) (*Update, error) {
 // orders inserted without any line item — each one a violation of the
 // paper's atLeastOneLineItem assertion.
 func (g *Generator) ViolatingUpdateMB(mb, nViolations int) (*Update, error) {
-	u, err := g.cleanUpdateRows(fmt.Sprintf("%dMB+bad", mb), mb*RowsPerMB-nViolations)
+	return g.ViolatingUpdate(fmt.Sprintf("%dMB+bad", mb), mb*RowsPerMB, nViolations)
+}
+
+// ViolatingUpdate is the row-count form of ViolatingUpdateMB.
+func (g *Generator) ViolatingUpdate(label string, rows, nViolations int) (*Update, error) {
+	u, err := g.cleanUpdateRows(label, rows-nViolations)
 	if err != nil {
 		return nil, err
 	}
