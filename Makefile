@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet test-race bench bench-safecommit e1
+.PHONY: check build test vet test-race bench bench-safecommit bench-parallel e1
 
 ## check: the tier-1 gate — vet, build, and test everything.
 check: vet build test
@@ -15,9 +15,10 @@ test:
 	$(GO) test ./...
 
 ## test-race: the experiment harness (and everything else) under the race
-## detector; slower, catches engine/state sharing mistakes.
+## detector; slower, catches engine/state sharing mistakes. Includes the
+## parallel commit-check scheduler's concurrent-safeCommit tests.
 test-race:
-	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/
+	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/ ./internal/sched/
 
 ## bench: the full benchmark families (reduced scales; minutes).
 bench:
@@ -27,6 +28,12 @@ bench:
 ## BENCH_safecommit.json.
 bench-safecommit:
 	$(GO) test -run '^$$' -bench 'BenchmarkSafeCommit$$' -benchmem .
+
+## bench-parallel: the parallel commit-check scaling curve (1/2/4/8
+## workers over the multi-assertion workload), also tracked in
+## BENCH_safecommit.json.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkSafeCommitParallel' -benchmem .
 
 ## e1: print the headline experiment grid at test scale.
 e1:

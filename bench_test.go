@@ -343,6 +343,52 @@ func BenchmarkSafeCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkSafeCommitParallel measures the multi-assertion commit check
+// with the parallel scheduler at 1/2/4/8 workers (1 = the serial path).
+// The workload is the full complexity-assertion set over a 1MB staged
+// update, where per-assertion checks are independent and the fan-out pays.
+// Results tracked in BENCH_safecommit.json; the plan-cache contract is
+// enforced here too (worker clones are not compilations).
+//
+// Wall-clock scaling needs real cores: on a single-CPU box the curve is
+// flat and only measures scheduler overhead (which should stay within a
+// few percent of workers=1). The speedup ceiling is also bounded by task
+// skew — the slowest single view (see the per-view E2 numbers) is the
+// critical path, since view-level checks are the unit of work.
+func BenchmarkSafeCommitParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Workers = workers
+			f := getFixture(b, 1, opts, fmt.Sprintf("safecommit-par-%d", workers), tpch.ComplexityAssertions())
+			stageUpdate(b, f, 1)
+			defer f.tool.DB().TruncateEvents()
+			if _, err := f.tool.Check(); err != nil {
+				b.Fatal(err)
+			}
+			warm := f.tool.Engine().PlanCacheStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := f.tool.Check()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Violations) != 0 {
+					b.Fatal("clean workload flagged")
+				}
+			}
+			b.StopTimer()
+			after := f.tool.Engine().PlanCacheStats()
+			if after.Misses != warm.Misses {
+				b.Fatalf("parallel commit-time checking compiled plans: misses %d -> %d", warm.Misses, after.Misses)
+			}
+			if after.Fallbacks != warm.Fallbacks {
+				b.Fatalf("parallel commit-time checking re-planned non-cacheable views: %d -> %d", warm.Fallbacks, after.Fallbacks)
+			}
+		})
+	}
+}
+
 // BenchmarkSafeCommitApply measures a full safeCommit cycle including the
 // apply step (stage → check → commit), the end-to-end transaction cost.
 func BenchmarkSafeCommitApply(b *testing.B) {

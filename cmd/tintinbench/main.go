@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	tintinbench [-exp e1|e2|e3|e4|all] [-orders-per-gb n] [-gbs 1,2,3,4,5] [-mbs 1,5] [-quick]
+//	tintinbench [-exp e1|e2|e3|e4|all] [-orders-per-gb n] [-gbs 1,2,3,4,5] [-mbs 1,5] [-quick] [-workers n]
+//
+// -workers > 1 runs every safeCommit check through the parallel
+// commit-check scheduler (internal/sched) with that many workers; results
+// are identical to serial runs, only the check times change.
 package main
 
 import (
@@ -33,6 +37,7 @@ func run(args []string) error {
 	mbs := fs.String("mbs", "1,5", "comma-separated update sizes (MB labels)")
 	seed := fs.Int64("seed", 42, "generator seed")
 	quick := fs.Bool("quick", false, "small configuration for a fast smoke run")
+	workers := fs.Int("workers", 1, "parallel commit-check workers (1 = serial; >1 fans the per-assertion checks across a worker pool)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,8 +53,10 @@ func run(args []string) error {
 	if *quick {
 		cfg = harness.QuickConfig()
 	}
+	cfg.Workers = *workers
 
-	fmt.Printf("TINTIN evaluation reproduction (1GB ≡ %d orders, seed %d)\n\n", cfg.OrdersPerGB, cfg.Seed)
+	fmt.Printf("TINTIN evaluation reproduction (1GB ≡ %d orders, seed %d, %d check worker(s))\n\n",
+		cfg.OrdersPerGB, cfg.Seed, max(1, cfg.Workers))
 	if err := harness.VerifyDetection(cfg); err != nil {
 		return fmt.Errorf("correctness gate failed: %w", err)
 	}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"strings"
+
+	"tintin/internal/sched"
+	"tintin/internal/sqltypes"
+)
+
+// NewCommitter returns the group-commit front door for this tool:
+// concurrent sessions call Commit with a delta of row-level ops, the
+// committer batches compatible deltas (disjoint row-identity and
+// primary-key write sets), checks a batch in one safeCommit pass, and acks
+// every session with its own per-assertion verdicts. When a batch is
+// rejected, the deltas are re-checked individually so each session learns
+// whether its own update was the violating one — clean sessions still
+// commit.
+//
+// All staging and checking runs on the committer's leader, one batch at a
+// time, so sessions never touch the database concurrently; while a tool is
+// serving a committer, updates must go through it (a direct SafeCommit
+// would race the leader and is truncated away by the next batch anyway).
+func (t *Tool) NewCommitter(opts ...sched.CommitterOption) *sched.Committer[*CommitResult] {
+	base := []sched.CommitterOption{sched.WithKeyFn(t.conflictKeys)}
+	return sched.NewCommitter(t.commitBatch, append(base, opts...)...)
+}
+
+// conflictKeys keys an op by full-row identity and, when the table declares
+// a primary key, by that key too: two sessions writing the same row or the
+// same PK never share a batch, so their outcomes serialize in submission
+// order instead of colliding inside one check. Table names are lowercased
+// to match storage's resolution, so case-variant spellings still conflict.
+func (t *Tool) conflictKeys(op sched.Op) []string {
+	table := strings.ToLower(op.Table)
+	keys := []string{table + "\x00" + op.Row.Key()}
+	if tb := t.db.Table(table); tb != nil {
+		s := tb.Schema()
+		if pk := s.PrimaryKeyOffsets(); len(pk) > 0 && len(op.Row) == len(s.Columns) {
+			keys = append(keys, table+"\x01"+op.Row.KeyOn(pk))
+		}
+	}
+	return keys
+}
+
+// commitBatch is the committer's BatchFunc: stage everything, check once,
+// and on rejection fall back to per-delta attribution.
+func (t *Tool) commitBatch(batch []sched.Delta) ([]sched.Ack[*CommitResult], error) {
+	// The committer's leader recovers panics and keeps serving, so a panic
+	// escaping mid-commit must not leave this batch's staged events behind
+	// to be silently committed under the next batch. (Any check-time
+	// freeze has already been thawed by its own deferred Thaw by the time
+	// this unwinds.)
+	defer func() {
+		if r := recover(); r != nil {
+			t.db.TruncateEvents()
+			panic(r)
+		}
+	}()
+	acks := make([]sched.Ack[*CommitResult], len(batch))
+	if len(batch) > 1 {
+		if err := t.stageDeltas(batch); err != nil {
+			// A malformed op poisoned the shared staging; rewind and let the
+			// individual pass pin the failure on its own delta.
+			t.db.TruncateEvents()
+		} else {
+			res, err := t.SafeCommit()
+			if err != nil {
+				// A batch apply error (e.g. one delta inserting a duplicate
+				// primary key) leaves the database untouched — ApplyEvents
+				// is all-or-nothing — so rewind the events and let the
+				// individual pass below attribute the failure to its own
+				// delta while the clean sessions still commit.
+				t.db.TruncateEvents()
+			} else if res.Committed {
+				// The whole batch is clean: one check paid for all sessions.
+				// Each session gets its own shallow copy so it may mutate its
+				// result (zero a duration, annotate) without racing another
+				// goroutine; committed results carry no violation slices.
+				for i := range acks {
+					r := *res
+					acks[i].Res = &r
+				}
+				return acks, nil
+			}
+			// Rejected: some delta is guilty, re-check individually below.
+		}
+	}
+	for i := range batch {
+		res, err := t.commitOne(batch[i])
+		acks[i] = sched.Ack[*CommitResult]{Res: res, Err: err}
+	}
+	return acks, nil
+}
+
+// commitOne stages and safeCommits a single delta (the event tables are
+// empty on entry: the leader truncates between passes). A failed
+// SafeCommit — e.g. an apply error — must not leak staged events into the
+// next delta's pass, so the error path rewinds them.
+func (t *Tool) commitOne(d sched.Delta) (*CommitResult, error) {
+	if err := t.stageDelta(d); err != nil {
+		t.db.TruncateEvents()
+		return nil, err
+	}
+	res, err := t.SafeCommit()
+	if err != nil {
+		t.db.TruncateEvents()
+		return nil, err
+	}
+	return res, nil
+}
+
+func (t *Tool) stageDeltas(batch []sched.Delta) error {
+	for i := range batch {
+		if err := t.stageDelta(batch[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stageDelta applies a delta's ops through the capture layer: inserts land
+// in ins_T, deletes copy the matched base rows into del_T. Deleting a row
+// that does not exist is a no-op, like DELETE ... WHERE matching nothing.
+func (t *Tool) stageDelta(d sched.Delta) error {
+	for _, op := range d.Ops {
+		if op.Delete {
+			row := op.Row
+			if _, err := t.db.DeleteWhere(op.Table, func(r sqltypes.Row) bool {
+				return sqltypes.IdenticalRows(r, row)
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := t.db.Insert(op.Table, op.Row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

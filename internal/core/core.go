@@ -17,6 +17,7 @@ import (
 	"tintin/internal/edc"
 	"tintin/internal/engine"
 	"tintin/internal/logic"
+	"tintin/internal/sched"
 	"tintin/internal/sqlgen"
 	"tintin/internal/sqlparser"
 	"tintin/internal/sqltypes"
@@ -32,6 +33,13 @@ type Options struct {
 	SkipEmptyEventViews bool
 	// DisableIndexProbes forces full scans in the evaluator (E4 ablation).
 	DisableIndexProbes bool
+	// Workers sets the commit-check fan-out: with Workers > 1 safeCommit
+	// checks independent incremental views concurrently on a worker pool
+	// (each worker running private plan clones over the frozen database)
+	// and merges violations deterministically in assertion order. 0 or 1
+	// takes the serial path on the calling goroutine; any worker count
+	// produces identical CommitResults (TestParallelCheckParity).
+	Workers int
 }
 
 // DefaultOptions enables everything, matching the paper's tool.
@@ -96,6 +104,13 @@ type Tool struct {
 	opts    Options
 	order   []string
 	asserts map[string]*Assertion
+
+	// pool is the parallel commit-check scheduler (nil when Workers <= 1).
+	pool *sched.Pool
+	// checkRes is the serial path's reusable result buffer: the common
+	// no-violation check re-executes plans into it without allocating
+	// result storage. Violation rows are copied out before reuse.
+	checkRes engine.Result
 }
 
 // New creates a tool over db with the given options.
@@ -105,6 +120,9 @@ func New(db *storage.DB, opts Options) *Tool {
 		eng:     engine.New(db),
 		opts:    opts,
 		asserts: make(map[string]*Assertion),
+	}
+	if opts.Workers > 1 {
+		t.pool = sched.NewPool(opts.Workers)
 	}
 	t.eng.DisableIndexProbes = opts.DisableIndexProbes
 	t.eng.RegisterProcedure("safecommit", func() (*engine.ExecResult, error) {
@@ -314,6 +332,10 @@ func (t *Tool) Check() (*CommitResult, error) {
 		nonEmpty[storage.DelTable(n)] = true
 	}
 
+	// The pre-pass produces the check list — one entry per view that could
+	// be affected — and the skip accounting; evaluation then runs serially
+	// or fans out across the scheduler, with identical results either way.
+	var checks []viewCheck
 	for _, name := range t.order {
 		a := t.asserts[name]
 		// Trivial-emptiness pre-pass: when every event table in the
@@ -330,24 +352,99 @@ func (t *Tool) Check() (*CommitResult, error) {
 				continue
 			}
 			res.ViewsChecked++
-			view := a.Views[i]
-			qr, err := t.eng.QueryView(view)
-			if err != nil {
-				return nil, fmt.Errorf("tintin: evaluating %s: %w", view, err)
-			}
-			if len(qr.Rows) > 0 {
-				res.Violations = append(res.Violations, Violation{
-					Assertion: a.Name,
-					EDC:       e.Name,
-					View:      view,
-					Columns:   qr.Columns,
-					Rows:      qr.Rows,
-				})
-			}
+			checks = append(checks, viewCheck{assertion: a, edcName: e.Name, view: a.Views[i]})
 		}
+	}
+
+	var err error
+	if t.pool != nil && len(checks) > 1 {
+		err = t.checkParallel(checks, res)
+	} else {
+		err = t.checkSerial(checks, res)
+	}
+	if err != nil {
+		return nil, err
 	}
 	res.Duration = time.Since(start)
 	return res, nil
+}
+
+// viewCheck is one evaluation unit of a Check: an incremental view of one
+// assertion's EDC whose event footprint is non-empty.
+type viewCheck struct {
+	assertion *Assertion
+	edcName   string
+	view      string
+}
+
+// checkSerial evaluates the check list in order on the calling goroutine,
+// reusing the tool's result buffer.
+func (t *Tool) checkSerial(checks []viewCheck, res *CommitResult) error {
+	for _, c := range checks {
+		p, err := t.eng.PrepareView(c.view)
+		if err != nil {
+			return fmt.Errorf("tintin: evaluating %s: %w", c.view, err)
+		}
+		if err := p.QueryInto(&t.checkRes); err != nil {
+			return fmt.Errorf("tintin: evaluating %s: %w", c.view, err)
+		}
+		if len(t.checkRes.Rows) > 0 {
+			res.Violations = append(res.Violations, Violation{
+				Assertion: c.assertion.Name,
+				EDC:       c.edcName,
+				View:      c.view,
+				Columns:   t.checkRes.Columns,
+				Rows:      append([]sqltypes.Row(nil), t.checkRes.Rows...),
+			})
+		}
+	}
+	return nil
+}
+
+// checkParallel fans the check list out across the scheduler's worker
+// pool. Plans are resolved (and any missing probe index built) serially
+// before the fan-out; the database is frozen for its duration so every
+// worker probes an immutable snapshot; and outcomes are merged back in
+// check-list order, so violation ordering is identical to the serial path.
+func (t *Tool) checkParallel(checks []viewCheck, res *CommitResult) error {
+	tasks := make([]sched.Task, len(checks))
+	for i, c := range checks {
+		p, err := t.eng.PrepareView(c.view)
+		if err != nil {
+			return fmt.Errorf("tintin: evaluating %s: %w", c.view, err)
+		}
+		if !p.Cacheable() {
+			// Non-cacheable plans re-plan per execution and may build
+			// indexes on demand: the scheduler runs them on its serial lane.
+			tasks[i] = sched.Task{Plan: p, Serial: true}
+			continue
+		}
+		if err := p.EnsureIndexes(); err != nil {
+			return fmt.Errorf("tintin: evaluating %s: %w", c.view, err)
+		}
+		tasks[i] = sched.Task{Plan: p}
+	}
+
+	t.db.Freeze()
+	defer t.db.Thaw() // deferred: a panic escaping the pool must not leave the db frozen
+	outs := t.pool.Run(tasks)
+
+	for i, out := range outs {
+		c := checks[i]
+		if out.Err != nil {
+			return fmt.Errorf("tintin: evaluating %s: %w", c.view, out.Err)
+		}
+		if len(out.Rows) > 0 {
+			res.Violations = append(res.Violations, Violation{
+				Assertion: c.assertion.Name,
+				EDC:       c.edcName,
+				View:      c.view,
+				Columns:   out.Columns,
+				Rows:      out.Rows,
+			})
+		}
+	}
+	return nil
 }
 
 func anyTrigger(triggers []string, nonEmpty map[string]bool) bool {

@@ -168,15 +168,10 @@ func (ex *exec) evalScalarSubquery(sq *sqlparser.ScalarSubquery) (sqltypes.Value
 	if q.Star || len(q.Columns) != 1 {
 		return sqltypes.Null, fmt.Errorf("engine: scalar subquery must produce one column")
 	}
-	var out sqltypes.Value = sqltypes.Null
-	n := 0
-	err = sub.run(func(row sqltypes.Row) (bool, error) {
-		n++
-		if n > 1 {
-			return false, fmt.Errorf("engine: scalar subquery returned more than one row")
-		}
-		out = row[0]
-		return true, nil
-	})
-	return out, err
+	// Reusable sink: scalar subqueries evaluate per outer row, so the probe
+	// must not allocate a fresh closure each time.
+	sub.scalarVal = sqltypes.Null
+	sub.scalarN = 0
+	err = sub.run(sub.scalarEmit)
+	return sub.scalarVal, err
 }

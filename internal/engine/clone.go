@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"tintin/internal/sqlparser"
+	"tintin/internal/sqltypes"
+	"tintin/internal/storage"
+)
+
+// Clone returns an independent copy of a compiled plan for use by one
+// worker of the parallel commit-check scheduler: the immutable plan shape
+// (AST, conjunct placement, probe offsets, sources, index handles) is
+// shared, while every piece of per-execution state — scope tuples, probe
+// value buffers, key scratch, level visitors, IN-subquery memos — is
+// private to the clone. Two goroutines may then execute the original and
+// the clone (or two clones) concurrently over a quiescent database.
+//
+// Non-cacheable plans (queries reading other views) re-plan per execution
+// and carry no reusable state; Clone returns the receiver unchanged, and
+// the scheduler must run them on its serial lane because re-planning may
+// build indexes on demand.
+func (p *PreparedQuery) Clone() *PreparedQuery {
+	if p.branches == nil {
+		return p
+	}
+	n := &PreparedQuery{
+		eng:           p.eng,
+		name:          p.name,
+		sel:           p.sel,
+		dedupe:        p.dedupe,
+		agg:           p.agg,
+		cols:          p.cols,
+		schemaVersion: p.schemaVersion,
+		noProbes:      p.noProbes,
+	}
+	c := &cloner{scopes: make(map[*scope]*scope)}
+	n.branches = make([]*exec, len(p.branches))
+	for i, ex := range p.branches {
+		n.branches[i] = c.cloneExec(ex)
+	}
+	return n
+}
+
+// cloner memoizes scope copies so the cloned exec tree reproduces the
+// original scope-chain sharing (subquery scopes point at their enclosing
+// query's scope, not at a fresh copy of it).
+type cloner struct {
+	scopes map[*scope]*scope
+}
+
+func (c *cloner) cloneScope(s *scope) *scope {
+	if s == nil {
+		return nil
+	}
+	if n, ok := c.scopes[s]; ok {
+		return n
+	}
+	n := &scope{
+		parent: c.cloneScope(s.parent),
+		srcs:   s.srcs, // sources are immutable plan shape (table ptr, col maps)
+		tuple:  make([]sqltypes.Row, len(s.tuple)),
+	}
+	c.scopes[s] = n
+	return n
+}
+
+func (c *cloner) cloneExec(ex *exec) *exec {
+	n := &exec{
+		eng:        ex.eng,
+		sel:        ex.sel,
+		scope:      c.cloneScope(ex.scope),
+		prefilters: ex.prefilters,
+		filters:    ex.filters,
+		probes:     ex.probes,
+		probeOffs:  ex.probeOffs,
+		probeIdx:   append([]*storage.Index(nil), ex.probeIdx...),
+	}
+	n.probeVals = make([][]sqltypes.Value, len(ex.probeVals))
+	for k, pv := range ex.probeVals {
+		if pv != nil {
+			n.probeVals[k] = make([]sqltypes.Value, len(pv))
+		}
+	}
+	n.initLevels()
+	if ex.subs != nil {
+		n.subs = make(map[*sqlparser.Select]*exec, len(ex.subs))
+		for q, sub := range ex.subs {
+			n.subs[q] = c.cloneExec(sub)
+		}
+	}
+	return n
+}

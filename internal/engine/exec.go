@@ -86,6 +86,33 @@ type exec struct {
 	// probe (or eagerly by PreparedQuery.EnsureIndexes).
 	probeIdx []*storage.Index
 
+	// levels holds the join loop's per-source visitor state, built once at
+	// plan time so the hot loop never allocates closures (the per-level
+	// tryRow/checkProbes/visit closures this replaces were the join loop's
+	// dominant allocation).
+	levels []level
+	// emit is the current run's row sink, bound for the duration of run().
+	emit func(sqltypes.Row) (bool, error)
+	// existsFound / existsEmit are the reusable EXISTS sink: runExists runs
+	// on the per-row subquery hot path, so its sink must not be a fresh
+	// closure (which would allocate per outer row).
+	existsFound bool
+	existsEmit  func(sqltypes.Row) (bool, error)
+	// inVal/inFound/inSawNull/inEmit are the reusable sink for correlated
+	// IN-subquery probes, per outer row like EXISTS.
+	inVal     sqltypes.Value
+	inFound   bool
+	inSawNull bool
+	inEmit    func(sqltypes.Row) (bool, error)
+	// scalarVal/scalarN/scalarEmit are the reusable scalar-subquery sink.
+	scalarVal  sqltypes.Value
+	scalarN    int
+	scalarEmit func(sqltypes.Row) (bool, error)
+	// keyScratch is the probe-key encoding buffer. It lives on the exec —
+	// not the table — so every worker running its own exec clone probes a
+	// shared table without contending on scratch state.
+	keyScratch []byte
+
 	// skipProject suppresses leaf projection (aggregate mode accumulates
 	// from the bound scope instead).
 	skipProject bool
@@ -96,6 +123,65 @@ type exec struct {
 	// inMemo caches fully-materialized results of uncorrelated IN
 	// subqueries (value-set plus null flag).
 	inMemo map[*sqlparser.InSubquery]*inSet
+}
+
+// level is the reusable visitor state for one join depth: the bound method
+// values stand in for the closures the loop would otherwise allocate per
+// run, and cont/err carry control flow out of the storage scan callbacks.
+type level struct {
+	ex   *exec
+	k    int
+	cont bool
+	err  error
+	// tryFn is the probe-path visitor (bind row, filters, recurse);
+	// visitFn additionally re-checks probe conjuncts on the scan path.
+	tryFn   func(sqltypes.Row) bool
+	visitFn func(sqltypes.Row) bool
+}
+
+// initLevels builds the per-source visitor state and the reusable row
+// sinks (called at plan and clone time; the method values here are the
+// only per-exec closure allocations).
+func (ex *exec) initLevels() {
+	ex.levels = make([]level, len(ex.scope.srcs))
+	for k := range ex.levels {
+		lv := &ex.levels[k]
+		lv.ex = ex
+		lv.k = k
+		lv.tryFn = lv.tryRow
+		lv.visitFn = lv.visit
+	}
+	ex.existsEmit = ex.emitExists
+	ex.inEmit = ex.emitInProbe
+	ex.scalarEmit = ex.emitScalar
+}
+
+func (ex *exec) emitExists(sqltypes.Row) (bool, error) {
+	ex.existsFound = true
+	return false, nil
+}
+
+func (ex *exec) emitInProbe(row sqltypes.Row) (bool, error) {
+	if row[0].IsNull() {
+		ex.inSawNull = true
+		return true, nil
+	}
+	if sqltypes.Equal(ex.inVal, row[0]) {
+		ex.inFound = true
+		return false, nil
+	}
+	return true, nil
+}
+
+var errScalarCardinality = fmt.Errorf("engine: scalar subquery returned more than one row")
+
+func (ex *exec) emitScalar(row sqltypes.Row) (bool, error) {
+	ex.scalarN++
+	if ex.scalarN > 1 {
+		return false, errScalarCardinality
+	}
+	ex.scalarVal = row[0]
+	return true, nil
 }
 
 // inSet is a materialized IN-subquery result.
@@ -141,17 +227,18 @@ func (ex *exec) existsSub(q *sqlparser.Select) (bool, error) {
 }
 
 // runExists runs the block for existence only: projection is suppressed, so
-// the per-row EXISTS probes on the join hot path never materialize tuples.
+// the per-row EXISTS probes on the join hot path never materialize tuples,
+// and the sink is the exec's reusable one, so the probe allocates nothing.
+// No defer here — this runs per outer row, and a defer costs real time on
+// the hot path; a panic that unwinds past the plain restore is repaired by
+// reset() at the next execution of the cached plan.
 func (ex *exec) runExists() (bool, error) {
 	saved := ex.skipProject
 	ex.skipProject = true
-	defer func() { ex.skipProject = saved }()
-	found := false
-	err := ex.run(func(sqltypes.Row) (bool, error) {
-		found = true
-		return false, nil
-	})
-	return found, err
+	ex.existsFound = false
+	err := ex.run(ex.existsEmit)
+	ex.skipProject = saved
+	return ex.existsFound, err
 }
 
 type probe struct {
@@ -199,6 +286,7 @@ func (e *Engine) newExec(sel *sqlparser.Select, outer *scope) (*exec, error) {
 		}
 		ex.probeVals[k] = make([]sqltypes.Value, len(ps))
 	}
+	ex.initLevels()
 	return ex, nil
 }
 
@@ -367,36 +455,70 @@ func (ex *exec) run(emit func(sqltypes.Row) (bool, error)) error {
 			return nil
 		}
 	}
-	_, err := ex.loop(0, emit)
+	saved := ex.emit
+	ex.emit = emit
+	_, err := ex.loop(0)
+	ex.emit = saved
 	return err
 }
 
-func (ex *exec) loop(k int, emit func(sqltypes.Row) (bool, error)) (bool, error) {
+// tryRow binds r at this level, applies the level's filters, and recurses.
+// It is the index-probe scan callback; false stops the storage scan (early
+// exit or error, disambiguated by lv.err).
+func (lv *level) tryRow(r sqltypes.Row) bool {
+	ex := lv.ex
+	ex.scope.tuple[lv.k] = r
+	for _, f := range ex.filters[lv.k] {
+		t, err := ex.evalBool(f)
+		if err != nil {
+			lv.err = err
+			return false
+		}
+		if t != truthTrue {
+			return true
+		}
+	}
+	c, err := ex.loop(lv.k + 1)
+	if err != nil {
+		lv.err = err
+		return false
+	}
+	lv.cont = c
+	return c
+}
+
+// visit is the scan-path callback: probe conjuncts that could not use an
+// index are re-checked as filters before tryRow.
+func (lv *level) visit(r sqltypes.Row) bool {
+	ex := lv.ex
+	for _, p := range ex.probes[lv.k] {
+		v, err := ex.evalValue(p.expr)
+		if err != nil {
+			lv.err = err
+			return false
+		}
+		if !sqltypes.Equal(r[p.colIdx], v) {
+			return true
+		}
+	}
+	return lv.tryRow(r)
+}
+
+func (ex *exec) loop(k int) (bool, error) {
 	if k == len(ex.scope.srcs) {
 		if ex.skipProject {
-			return emit(nil)
+			return ex.emit(nil)
 		}
 		row, err := ex.project()
 		if err != nil {
 			return false, err
 		}
-		return emit(row)
+		return ex.emit(row)
 	}
 	src := ex.scope.srcs[k]
-
-	tryRow := func(r sqltypes.Row) (bool, error) {
-		ex.scope.tuple[k] = r
-		for _, f := range ex.filters[k] {
-			t, err := ex.evalBool(f)
-			if err != nil {
-				return false, err
-			}
-			if t != truthTrue {
-				return true, nil
-			}
-		}
-		return ex.loop(k+1, emit)
-	}
+	lv := &ex.levels[k]
+	lv.cont = true
+	lv.err = nil
 
 	if len(ex.probes[k]) > 0 && src.table != nil {
 		vals := ex.probeVals[k]
@@ -416,71 +538,30 @@ func (ex *exec) loop(k int, emit func(sqltypes.Row) (bool, error)) (bool, error)
 			}
 			ex.probeIdx[k] = idx
 		}
-		cont := true
-		var probeErr error
-		idx.ScanEqual(vals, func(r sqltypes.Row) bool {
-			c, err := tryRow(r)
-			if err != nil {
-				probeErr = err
-				return false
-			}
-			cont = c
-			return c
-		})
+		idx.ScanEqualScratch(&ex.keyScratch, vals, lv.tryFn)
 		ex.scope.tuple[k] = nil
-		if probeErr != nil {
-			return false, probeErr
+		if lv.err != nil {
+			return false, lv.err
 		}
-		return cont, nil
+		return lv.cont, nil
 	}
 
 	// Scan path: base-table scan or materialized rows, applying any probe
 	// conjuncts as filters.
-	checkProbes := func(r sqltypes.Row) (bool, error) {
-		for _, p := range ex.probes[k] {
-			v, err := ex.evalValue(p.expr)
-			if err != nil {
-				return false, err
-			}
-			if !sqltypes.Equal(r[p.colIdx], v) {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
-	cont := true
-	var scanErr error
-	visit := func(r sqltypes.Row) bool {
-		okp, err := checkProbes(r)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		if !okp {
-			return true
-		}
-		c, err := tryRow(r)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		cont = c
-		return c
-	}
 	if src.table != nil {
-		src.table.Scan(visit)
+		src.table.Scan(lv.visitFn)
 	} else {
 		for _, r := range src.rows {
-			if !visit(r) {
+			if !lv.visitFn(r) {
 				break
 			}
 		}
 	}
 	ex.scope.tuple[k] = nil
-	if scanErr != nil {
-		return false, scanErr
+	if lv.err != nil {
+		return false, lv.err
 	}
-	return cont, nil
+	return lv.cont, nil
 }
 
 func (ex *exec) project() (sqltypes.Row, error) {

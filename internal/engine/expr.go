@@ -359,25 +359,21 @@ func (ex *exec) evalInSubquery(x *sqlparser.InSubquery) (truth, error) {
 		return inVerdict(set, v, x.Negated), nil
 	}
 
-	// Correlated: scan with early exit, reusing the cached plans.
+	// Correlated: scan with early exit, reusing the cached plans and each
+	// branch's reusable membership sink (this probe runs per outer row).
 	found := false
 	sawNull := false
 	for _, sub := range branches {
-		err := sub.run(func(row sqltypes.Row) (bool, error) {
-			if row[0].IsNull() {
-				sawNull = true
-				return true, nil
-			}
-			if sqltypes.Equal(v, row[0]) {
-				found = true
-				return false, nil
-			}
-			return true, nil
-		})
+		sub.inVal = v
+		sub.inFound = false
+		sub.inSawNull = false
+		err := sub.run(sub.inEmit)
 		if err != nil {
 			return truthUnknown, err
 		}
-		if found {
+		sawNull = sawNull || sub.inSawNull
+		if sub.inFound {
+			found = true
 			break
 		}
 	}

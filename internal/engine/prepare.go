@@ -191,9 +191,14 @@ func (ex *exec) planSubqueries() error {
 }
 
 // reset clears the per-execution memo state of a plan (and of its cached
-// subquery plans) so a fresh run re-reads current table data.
+// subquery plans) so a fresh run re-reads current table data. It also
+// clears skipProject: a panic recovered above the engine (the scheduler's
+// committer does this and keeps cached plans alive) can unwind past
+// runExists' restore, and a cached exec stuck in existence mode would emit
+// nil rows forever after.
 func (ex *exec) reset() {
 	ex.inMemo = nil
+	ex.skipProject = false
 	for _, sub := range ex.subs {
 		sub.reset()
 	}
@@ -231,19 +236,40 @@ func (ex *exec) ensureProbeIndexes() error {
 	return nil
 }
 
-// Query executes the prepared plan and materializes the result.
+// Query executes the prepared plan and materializes a fresh result.
 func (p *PreparedQuery) Query() (*Result, error) {
-	if p.branches == nil {
-		return p.eng.query(p.sel, nil)
+	res := &Result{}
+	if err := p.QueryInto(res); err != nil {
+		return nil, err
 	}
-	res := &Result{Columns: p.cols}
+	return res, nil
+}
+
+// QueryInto executes the prepared plan into a caller-owned result, reusing
+// res.Rows' capacity: the commit-time check loop passes the same Result
+// every call, so the common no-violation check allocates no result storage
+// at all. The rows appended alias live plan output; callers that keep them
+// beyond the next execution must copy the slice (the rows themselves are
+// immutable).
+func (p *PreparedQuery) QueryInto(res *Result) error {
+	res.Rows = res.Rows[:0]
+	if p.branches == nil {
+		fresh, err := p.eng.query(p.sel, nil)
+		if err != nil {
+			return err
+		}
+		res.Columns = fresh.Columns
+		res.Rows = append(res.Rows, fresh.Rows...)
+		return nil
+	}
+	res.Columns = p.cols
 	var seen map[string]bool
 	for i, ex := range p.branches {
 		ex.reset()
 		if p.agg[i] {
 			row, err := p.eng.runAggregate(ex, ex.sel)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res.Rows = append(res.Rows, row)
 			continue
@@ -264,10 +290,10 @@ func (p *PreparedQuery) Query() (*Result, error) {
 			return true, nil
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // NonEmpty reports whether the prepared query yields any row, stopping at

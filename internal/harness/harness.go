@@ -32,6 +32,18 @@ type Config struct {
 	UpdateRowsPerMB int
 	// Seed makes data and workloads deterministic.
 	Seed int64
+	// Workers sets the parallel commit-check fan-out (0 or 1 = serial);
+	// see core.Options.Workers. Violation output is deterministic at any
+	// worker count, so tables are comparable across settings.
+	Workers int
+}
+
+// options builds the tool options for this config (the paper's defaults
+// plus the configured check fan-out).
+func (c Config) options() core.Options {
+	opts := core.DefaultOptions()
+	opts.Workers = c.Workers
+	return opts
 }
 
 // DefaultConfig is the full grid used by cmd/tintinbench.
@@ -198,7 +210,7 @@ func RunE1(cfg Config) (*Table, error) {
 		},
 	}
 	for _, gb := range cfg.GBs {
-		tool, gen, err := setup(cfg, gb, core.DefaultOptions(), []string{tpch.AssertionAtLeastOneLineItem})
+		tool, gen, err := setup(cfg, gb, cfg.options(), []string{tpch.AssertionAtLeastOneLineItem})
 		if err != nil {
 			return nil, err
 		}
@@ -245,7 +257,7 @@ func RunE2(cfg Config) (*Table, error) {
 		},
 	}
 	for _, sql := range tpch.ComplexityAssertions() {
-		tool, gen, err := setup(cfg, gb, core.DefaultOptions(), []string{sql})
+		tool, gen, err := setup(cfg, gb, cfg.options(), []string{sql})
 		if err != nil {
 			return nil, err
 		}
@@ -287,7 +299,7 @@ func RunE3(cfg Config) (*Table, error) {
 		},
 	}
 	all := tpch.ComplexityAssertions()
-	tool, gen, err := setup(cfg, gb, core.DefaultOptions(), all)
+	tool, gen, err := setup(cfg, gb, cfg.options(), all)
 	if err != nil {
 		return nil, err
 	}
@@ -363,7 +375,7 @@ func RunE4(cfg Config) (*Table, error) {
 		name string
 		opts core.Options
 	}
-	full := core.DefaultOptions()
+	full := cfg.options()
 	noFK := full
 	noFK.EDC.FKOptimization = false
 	noSub := full
@@ -409,7 +421,7 @@ func RunE4(cfg Config) (*Table, error) {
 // update: both must flag it. Used by tests and the bench harness as a
 // correctness gate.
 func VerifyDetection(cfg Config) error {
-	tool, gen, err := setup(cfg, cfg.GBs[0], core.DefaultOptions(), []string{tpch.AssertionAtLeastOneLineItem})
+	tool, gen, err := setup(cfg, cfg.GBs[0], cfg.options(), []string{tpch.AssertionAtLeastOneLineItem})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"tintin/internal/sqltypes"
+)
+
+// Op is one row-level change a session proposes: an insertion or a deletion
+// of exactly this row.
+type Op struct {
+	Table  string
+	Row    sqltypes.Row
+	Delete bool
+}
+
+// Delta is one session's proposed update: the unit of atomicity the
+// committer acks individually.
+type Delta struct {
+	Ops []Op
+}
+
+// Ack is one delta's verdict from a BatchFunc: its result, or its own
+// failure (a malformed op, say) that should not take the rest of the batch
+// down with it.
+type Ack[R any] struct {
+	Res R
+	Err error
+}
+
+// BatchFunc checks-and-commits one batch of deltas, returning one ack per
+// delta in order; a returned error is systemic and fails every session in
+// the batch. The committer guarantees batches are handed over one at a
+// time (never concurrently) and that deltas within a batch are pairwise
+// compatible (disjoint conflict keys).
+type BatchFunc[R any] func(batch []Delta) ([]Ack[R], error)
+
+// ErrCommitterClosed is returned by Commit after Close.
+var ErrCommitterClosed = errors.New("sched: committer is closed")
+
+// CommitterOption configures a Committer.
+type CommitterOption func(*committerConfig)
+
+type committerConfig struct {
+	maxBatch int
+	keyFn    func(Op) []string
+}
+
+// WithMaxBatch caps how many deltas one batch may carry (default 64).
+func WithMaxBatch(n int) CommitterOption {
+	return func(c *committerConfig) {
+		if n > 0 {
+			c.maxBatch = n
+		}
+	}
+}
+
+// WithKeyFn overrides the conflict-key function. Two deltas sharing any key
+// never ride in the same batch; the default keys each op by table plus the
+// full-row identity, and callers with schema knowledge add sharper keys
+// (e.g. table plus primary key) so same-key writes serialize.
+func WithKeyFn(fn func(Op) []string) CommitterOption {
+	return func(c *committerConfig) { c.keyFn = fn }
+}
+
+// Committer is the group-commit front door: concurrent sessions enqueue
+// deltas via Commit, a leader batches compatible deltas and hands each
+// batch to the BatchFunc in one pass, and every session is acked with its
+// own result. Leadership is claimed by whichever session finds the queue
+// unled and is relinquished when the queue drains, so there is no
+// background goroutine while the committer is idle.
+type Committer[R any] struct {
+	run BatchFunc[R]
+	cfg committerConfig
+
+	mu      sync.Mutex
+	queue   []*pending[R]
+	leading bool
+	closed  bool
+}
+
+type pending[R any] struct {
+	delta Delta
+	keys  []string
+	done  chan commitOutcome[R]
+}
+
+type commitOutcome[R any] struct {
+	res R
+	err error
+}
+
+// NewCommitter creates a committer over run.
+func NewCommitter[R any](run BatchFunc[R], opts ...CommitterOption) *Committer[R] {
+	c := &Committer[R]{run: run, cfg: committerConfig{maxBatch: 64}}
+	for _, o := range opts {
+		o(&c.cfg)
+	}
+	if c.cfg.keyFn == nil {
+		c.cfg.keyFn = defaultKeyFn
+	}
+	return c
+}
+
+// defaultKeyFn keys by lowercased table (matching storage's name
+// resolution) plus full-row identity.
+func defaultKeyFn(op Op) []string {
+	return []string{strings.ToLower(op.Table) + "\x00" + op.Row.Key()}
+}
+
+// Commit submits one delta and blocks until the batch it rode in has been
+// checked, returning this session's own result.
+func (c *Committer[R]) Commit(d Delta) (R, error) {
+	var zero R
+	p := &pending[R]{delta: d, done: make(chan commitOutcome[R], 1)}
+	for _, op := range d.Ops {
+		p.keys = append(p.keys, c.cfg.keyFn(op)...)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return zero, ErrCommitterClosed
+	}
+	c.queue = append(c.queue, p)
+	lead := !c.leading
+	if lead {
+		c.leading = true
+	}
+	c.mu.Unlock()
+	if lead {
+		go c.lead()
+	}
+	out := <-p.done
+	return out.res, out.err
+}
+
+// Close rejects future Commit calls. Deltas already enqueued are still
+// processed by the active leader.
+func (c *Committer[R]) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}
+
+// lead drains the queue batch by batch, then steps down.
+func (c *Committer[R]) lead() {
+	for {
+		c.mu.Lock()
+		if len(c.queue) == 0 {
+			c.leading = false
+			c.mu.Unlock()
+			return
+		}
+		batch := c.cutBatch()
+		c.mu.Unlock()
+
+		deltas := make([]Delta, len(batch))
+		for i, p := range batch {
+			deltas[i] = p.delta
+		}
+		acks, err := c.safeRun(deltas)
+		if err == nil && len(acks) != len(batch) {
+			err = fmt.Errorf("sched: batch func returned %d acks for %d deltas", len(acks), len(batch))
+		}
+		for i, p := range batch {
+			if err != nil {
+				p.done <- commitOutcome[R]{err: err}
+			} else {
+				p.done <- commitOutcome[R]{res: acks[i].Res, err: acks[i].Err}
+			}
+		}
+	}
+}
+
+// safeRun shields the leader from a panicking BatchFunc: an unrecovered
+// panic would kill the leader with sessions parked on their done channels
+// and `leading` stuck true, wedging the committer (and the process).
+// Converting it to a systemic error fails the batch loudly and lets the
+// leader keep draining.
+func (c *Committer[R]) safeRun(deltas []Delta) (acks []Ack[R], err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			acks, err = nil, fmt.Errorf("sched: batch func panicked: %v", r)
+		}
+	}()
+	return c.run(deltas)
+}
+
+// cutBatch (called with mu held) removes and returns the next batch: the
+// queue head plus every queued delta compatible with it, in arrival order,
+// up to maxBatch. Conflicting deltas keep their queue position and ride a
+// later batch; a deferred delta also reserves its keys, so anything
+// conflicting with *it* is deferred too — same-key writes serialize in
+// submission order, never jumping over an earlier conflicting delta.
+func (c *Committer[R]) cutBatch() []*pending[R] {
+	taken := make(map[string]bool)
+	var batch []*pending[R]
+	rest := c.queue[:0]
+	for _, p := range c.queue {
+		if len(batch) < c.cfg.maxBatch && !conflicts(taken, p.keys) {
+			batch = append(batch, p)
+		} else {
+			rest = append(rest, p)
+		}
+		for _, k := range p.keys {
+			taken[k] = true
+		}
+	}
+	c.queue = rest
+	return batch
+}
+
+func conflicts(taken map[string]bool, keys []string) bool {
+	for _, k := range keys {
+		if taken[k] {
+			return true
+		}
+	}
+	return false
+}

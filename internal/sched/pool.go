@@ -1,0 +1,173 @@
+// Package sched is the parallel commit-check scheduler: it fans the
+// compiled per-assertion check plans of a safeCommit out across a pool of
+// workers with private executor state, and provides a group-commit front
+// door (Committer) through which concurrent sessions submit update deltas.
+//
+// The concurrency model is strict: the database is an immutable snapshot
+// for the duration of a fan-out (the caller freezes it), every worker owns
+// clones of the compiled plans plus its own scratch buffers, and violation
+// output is merged back in task order, so results are deterministic
+// regardless of which worker ran what when.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tintin/internal/engine"
+	"tintin/internal/sqltypes"
+)
+
+// Task is one independent commit-check unit: a compiled incremental-view
+// plan to execute against the pending events.
+type Task struct {
+	// Plan is the cached prototype plan (owned by the engine's plan cache);
+	// workers execute private clones of it.
+	Plan *engine.PreparedQuery
+	// Serial routes the task to the coordinator's serial lane. Callers set
+	// it for plans that are not cacheable: those re-plan per execution and
+	// may build indexes on demand, which mutates shared table state.
+	Serial bool
+}
+
+// Outcome is the result of one task: the rows the view returned (copied out
+// of worker scratch, so they stay valid after the next fan-out) or the
+// execution error. Outcomes are positionally aligned with the task list —
+// the deterministic merge order.
+type Outcome struct {
+	Columns []string
+	Rows    []sqltypes.Row
+	Err     error
+}
+
+// Pool runs check tasks across a fixed set of workers. Each worker owns
+// persistent executor state — plan clones and a reusable result buffer —
+// that survives across Run calls, so steady-state commits allocate no
+// per-worker state at all. A Pool must not be shared by concurrent Run
+// calls; the committer (or the tool) serializes commits in front of it.
+type Pool struct {
+	workers int
+	// states[0:workers] belong to the worker goroutines; the extra last
+	// slot is the coordinator's serial lane for non-cloneable plans.
+	states []*workerState
+}
+
+type workerState struct {
+	clones map[*engine.PreparedQuery]*engine.PreparedQuery
+	res    engine.Result
+}
+
+// clonesCap bounds the per-worker clone cache; re-prepared views leave
+// stale prototype keys behind, so a long-lived pool over a schema-churning
+// tool resets the cache rather than growing without bound.
+const clonesCap = 256
+
+// NewPool creates a pool with the given number of workers (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, states: make([]*workerState, workers+1)}
+	for i := range p.states {
+		p.states[i] = &workerState{clones: make(map[*engine.PreparedQuery]*engine.PreparedQuery)}
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+func (st *workerState) runTask(t Task) (out Outcome) {
+	// A panic on a pool goroutine would kill the process (nothing above a
+	// worker recovers); surface it as this task's error instead, matching
+	// the serial path where the committer's leader recovers.
+	defer func() {
+		if r := recover(); r != nil {
+			out = Outcome{Err: fmt.Errorf("sched: check task panicked: %v", r)}
+		}
+	}()
+	plan := t.Plan
+	if !t.Serial {
+		clone, ok := st.clones[plan]
+		if !ok {
+			if len(st.clones) >= clonesCap {
+				st.clones = make(map[*engine.PreparedQuery]*engine.PreparedQuery)
+			}
+			clone = plan.Clone()
+			st.clones[plan] = clone
+		}
+		plan = clone
+	}
+	if err := plan.QueryInto(&st.res); err != nil {
+		return Outcome{Err: err}
+	}
+	if len(st.res.Rows) == 0 {
+		return Outcome{}
+	}
+	// Violations are rare; copy them out of the reusable buffer only then.
+	return Outcome{
+		Columns: st.res.Columns,
+		Rows:    append([]sqltypes.Row(nil), st.res.Rows...),
+	}
+}
+
+// Run executes every task and returns their outcomes in task order. Tasks
+// marked Serial run first, on the coordinator goroutine, BEFORE the
+// workers start: a serial task re-plans per execution and may build an
+// index on demand — a table mutation that must not overlap the workers'
+// reads. The parallel tasks are then pulled off a shared counter by the
+// workers. The caller must guarantee the database is quiescent for the
+// duration.
+func (p *Pool) Run(tasks []Task) []Outcome {
+	outs := make([]Outcome, len(tasks))
+	var par, ser []int
+	for i, t := range tasks {
+		// Non-cacheable plans are forced onto the serial lane regardless of
+		// what the caller set: Clone returns the shared receiver for them,
+		// so two workers would race on the same plan (and on the engine's
+		// plan cache through its per-execution re-planning).
+		if t.Serial || !t.Plan.Cacheable() {
+			ser = append(ser, i)
+		} else {
+			par = append(par, i)
+		}
+	}
+
+	coord := p.states[p.workers]
+	for _, ti := range ser {
+		outs[ti] = coord.runTask(tasks[ti])
+	}
+
+	nw := p.workers
+	if nw > len(par) {
+		nw = len(par)
+	}
+	if nw <= 1 {
+		// Nothing to fan out (or a single worker): run everything here and
+		// skip the goroutine machinery.
+		for _, ti := range par {
+			outs[ti] = p.states[0].runTask(tasks[ti])
+		}
+		return outs
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(st *workerState) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(par) {
+					return
+				}
+				ti := par[i]
+				outs[ti] = st.runTask(tasks[ti])
+			}
+		}(p.states[w])
+	}
+	wg.Wait()
+	return outs
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"tintin/internal/sqlparser"
 	"tintin/internal/sqltypes"
@@ -53,6 +54,16 @@ type DB struct {
 	// and re-plan when it moves (view redefinition is detected separately,
 	// by definition identity).
 	schemaVersion uint64
+
+	// frozen marks the database as an immutable snapshot view: while set,
+	// the DB-level write paths (Insert, DeleteWhere, ApplyEvents,
+	// TruncateEvents, NormalizeEvents) fail loudly. The parallel
+	// commit-check scheduler freezes the database for the duration of a
+	// fan-out so a stray write through those paths (a bug, by
+	// construction) errors or panics instead of racing the readers. The
+	// guard does not extend to direct Table-method mutations — callers
+	// holding a *Table must not write during a fan-out.
+	frozen atomic.Bool
 }
 
 // NewDB returns an empty database.
@@ -247,8 +258,44 @@ func (db *DB) SetCapture(on bool) error {
 // CaptureEnabled reports whether updates are being captured.
 func (db *DB) CaptureEnabled() bool { return db.capture }
 
+// Freeze marks the database as an immutable snapshot view until Thaw:
+// Insert, DeleteWhere and ApplyEvents fail while frozen, and the
+// void-returning mutators (TruncateEvents, NormalizeEvents) panic — a
+// write during an in-flight parallel check is a programming error by
+// construction, and failing loudly beats silently racing the readers.
+// The guard covers these DB-level paths (everything the engine and the
+// tool write through), not direct Table-method mutations. Concurrent
+// readers (scans and index probes with per-caller scratch) are safe over
+// a frozen database; this is the contract the parallel commit-check
+// scheduler relies on.
+func (db *DB) Freeze() { db.frozen.Store(true) }
+
+// Thaw lifts a Freeze, re-enabling writes.
+func (db *DB) Thaw() { db.frozen.Store(false) }
+
+// Frozen reports whether the database is currently an immutable snapshot.
+func (db *DB) Frozen() bool { return db.frozen.Load() }
+
+func (db *DB) writable(op string) error {
+	if db.frozen.Load() {
+		return fmt.Errorf("storage: %s on frozen database %s (a parallel check is in flight)", op, db.Name)
+	}
+	return nil
+}
+
+// mustBeWritable is the guard for mutators whose signature has no error to
+// return: misuse while frozen panics rather than racing readers.
+func (db *DB) mustBeWritable(op string) {
+	if err := db.writable(op); err != nil {
+		panic(err)
+	}
+}
+
 // Insert stores a row in table name, or in ins_name under capture.
 func (db *DB) Insert(name string, r sqltypes.Row) error {
+	if err := db.writable("Insert"); err != nil {
+		return err
+	}
 	name = strings.ToLower(name)
 	t := db.tables[name]
 	if t == nil {
@@ -264,6 +311,9 @@ func (db *DB) Insert(name string, r sqltypes.Row) error {
 // matching rows are copied into del_name instead and the base table is left
 // untouched. Returns the number of affected rows.
 func (db *DB) DeleteWhere(name string, match func(sqltypes.Row) bool) (int, error) {
+	if err := db.writable("DeleteWhere"); err != nil {
+		return 0, err
+	}
 	name = strings.ToLower(name)
 	t := db.tables[name]
 	if t == nil {
@@ -308,6 +358,7 @@ func (db *DB) PendingEvents() (withIns, withDel []string) {
 // net effect is nil), establishing the disjointness the EDC substitution
 // formulas assume. It returns the number of cancelled tuple pairs.
 func (db *DB) NormalizeEvents() int {
+	db.mustBeWritable("NormalizeEvents")
 	cancelled := 0
 	for _, name := range db.BaseTableNames() {
 		ins := db.tables[InsTable(name)]
@@ -331,11 +382,75 @@ func (db *DB) NormalizeEvents() int {
 	return cancelled
 }
 
+// validateEvents proves the replay cannot fail mid-apply, so ApplyEvents
+// is all-or-nothing: every pending insertion must satisfy the base schema,
+// and with a declared primary key its key must be either absent from the
+// base table, freed by a pending deletion, or not claimed twice within the
+// pending insertions. These are exactly Table.Insert's failure modes, so a
+// validated replay cannot error after mutation has begun.
+func (db *DB) validateEvents() error {
+	for _, name := range db.BaseTableNames() {
+		ins := db.tables[InsTable(name)]
+		if ins == nil || ins.Len() == 0 {
+			continue
+		}
+		base := db.tables[name]
+		var freed map[string]bool
+		pkOffs := base.Schema().PrimaryKeyOffsets()
+		if base.pkIndex != nil {
+			freed = map[string]bool{}
+			if del := db.tables[DelTable(name)]; del != nil && del.Len() > 0 {
+				del.Scan(func(r sqltypes.Row) bool {
+					if base.ContainsRow(r) {
+						freed[r.KeyOn(pkOffs)] = true
+					}
+					return true
+				})
+			}
+		}
+		var verr error
+		seen := map[string]bool{}
+		ins.Scan(func(r sqltypes.Row) bool {
+			checked, err := base.Schema().CheckRow(r)
+			if err != nil {
+				verr = fmt.Errorf("storage: applying events to %s: %w", name, err)
+				return false
+			}
+			if base.pkIndex == nil {
+				return true
+			}
+			k := checked.KeyOn(pkOffs)
+			if seen[k] {
+				verr = fmt.Errorf("storage: applying events to %s: duplicate primary key %s among pending insertions", name, checked)
+				return false
+			}
+			seen[k] = true
+			if _, exists := base.pkIndex[k]; exists && !freed[k] {
+				verr = fmt.Errorf("storage: applying events to %s: duplicate primary key %s", name, checked)
+				return false
+			}
+			return true
+		})
+		if verr != nil {
+			return verr
+		}
+	}
+	return nil
+}
+
 // ApplyEvents replays pending events onto the base tables (deletions first,
 // then insertions) and truncates the event tables — the commit step of
 // safeCommit. Capture is suspended during the replay, mirroring the paper's
-// "disable the triggers, apply, re-enable" sequence.
+// "disable the triggers, apply, re-enable" sequence. The replay is
+// all-or-nothing: it is validated up front, and on error the base tables
+// and the pending events are both untouched.
 func (db *DB) ApplyEvents() error {
+	if err := db.writable("ApplyEvents"); err != nil {
+		return err
+	}
+	if err := db.validateEvents(); err != nil {
+		return err
+	}
 	saved := db.capture
 	db.capture = false
 	defer func() { db.capture = saved }()
@@ -358,6 +473,8 @@ func (db *DB) ApplyEvents() error {
 		}
 		var err error
 		ins.Scan(func(r sqltypes.Row) bool {
+			// validateEvents proved this cannot fail; keep the check as a
+			// backstop against validation drifting from Insert.
 			if e := base.Insert(r.Clone()); e != nil {
 				err = fmt.Errorf("storage: applying events to %s: %w", name, e)
 				return false
@@ -375,6 +492,7 @@ func (db *DB) ApplyEvents() error {
 // TruncateEvents clears every event table (the last step of safeCommit, and
 // the rejection path).
 func (db *DB) TruncateEvents() {
+	db.mustBeWritable("TruncateEvents")
 	for _, name := range db.BaseTableNames() {
 		if t := db.tables[InsTable(name)]; t != nil {
 			t.Truncate()

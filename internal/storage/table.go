@@ -10,7 +10,15 @@ import (
 //
 // Rows keep their slot for their lifetime; deletion marks a tombstone and
 // recycles the slot on a free list. Indexes map encoded key bytes to slot
-// lists and are maintained eagerly on insert and lazily compacted on lookup.
+// lists and are maintained eagerly on both insert and delete — lookups
+// never write, which is what makes concurrent reading sound.
+//
+// Concurrency: a Table holds no internal scratch state, so any number of
+// goroutines may read concurrently (Scan, Rows, Len, Index.ScanEqual with
+// per-caller scratch) as long as nothing mutates the table — an immutable
+// snapshot view, which is exactly the state safeCommit's parallel check
+// phase runs in. Mutations (Insert, Delete*, Truncate, index construction)
+// require exclusive access.
 type Table struct {
 	schema *Schema
 
@@ -23,12 +31,15 @@ type Table struct {
 	indexes  map[string]*index // column-set key -> secondary index
 	lastSlot int               // slot used by the most recent insertRaw
 
-	// keyBuf is scratch for probe-key encoding, reused across lookups so the
-	// index-nested-loop hot path does not allocate per probe. Tables are not
-	// safe for concurrent use (nothing in the engine is).
-	keyBuf []byte
-	// allCols caches [0..len(columns)) for tuple-identity probes.
+	// allCols is [0..len(columns)), precomputed for tuple-identity probes.
 	allCols []int
+	// idIx caches the tuple-identity index (all columns) once built.
+	idIx *index
+	// writeScratch is key-encoding scratch for the write path only
+	// (Insert/Delete/ContainsRow), which requires exclusive access anyway.
+	// The concurrent read path (Index.ScanEqualScratch) brings caller-owned
+	// scratch and never touches it.
+	writeScratch []byte
 }
 
 type index struct {
@@ -41,6 +52,10 @@ func NewTable(schema *Schema) *Table {
 	t := &Table{
 		schema:  schema,
 		indexes: make(map[string]*index),
+		allCols: make([]int, len(schema.Columns)),
+	}
+	for i := range t.allCols {
+		t.allCols[i] = i
 	}
 	if len(schema.PrimaryKey) > 0 {
 		t.pkIndex = make(map[string]int)
@@ -162,26 +177,32 @@ func (t *Table) Rows() []sqltypes.Row {
 	return out
 }
 
-// slotsFor returns ix's bucket for vals, or nil when any value is NULL
-// (NULL never equals anything). The probe key is encoded into the table's
-// scratch buffer, so probing never allocates.
-func (t *Table) slotsFor(ix *index, vals []sqltypes.Value) []int {
+// lookup returns the index's bucket for vals, or nil when any value is NULL
+// (NULL never equals anything). The probe key is encoded into *scratch,
+// which is grown and written back so a caller reusing one scratch across
+// probes never allocates. lookup itself is read-only: safe for concurrent
+// use as long as each caller brings its own scratch and the table is not
+// being mutated.
+func (ix *index) lookup(scratch *[]byte, vals []sqltypes.Value) []int {
 	for _, v := range vals {
 		if v.IsNull() {
 			return nil
 		}
 	}
-	kb := t.keyBuf[:0]
+	kb := (*scratch)[:0]
 	for _, v := range vals {
 		kb = v.EncodeKey(kb)
 	}
-	t.keyBuf = kb
+	*scratch = kb
 	return ix.slots[string(kb)]
 }
 
 // probeSlots resolves (building if needed) the index on offs and probes it.
+// Building is a mutation; this path is for cold callers with exclusive
+// access (the hot path holds an Index handle and brings its own scratch).
 func (t *Table) probeSlots(offs []int, vals []sqltypes.Value) []int {
-	return t.slotsFor(t.ensureIndexOffsets(offs), vals)
+	var scratch []byte
+	return t.ensureIndexOffsets(offs).lookup(&scratch, vals)
 }
 
 // LookupEqual returns the live rows whose columns at offs equal vals,
@@ -202,6 +223,10 @@ func (t *Table) LookupEqual(offs []int, vals []sqltypes.Value) []sqltypes.Row {
 // probe repeatedly without re-resolving the column set. The handle stays
 // valid for the lifetime of the table: Truncate and row churn update the
 // underlying buckets in place.
+//
+// The handle holds no scratch state, so one Index may be shared by any
+// number of concurrent readers (each bringing its own scratch buffer via
+// ScanEqualScratch) while the table is quiescent.
 type Index struct {
 	t  *Table
 	ix *index
@@ -222,7 +247,16 @@ func (t *Table) IndexOn(offs []int) (*Index, error) {
 // without materializing a result slice; returning false stops the scan.
 // A NULL value matches nothing. yield must not mutate the table.
 func (x *Index) ScanEqual(vals []sqltypes.Value, yield func(sqltypes.Row) bool) {
-	for _, s := range x.t.slotsFor(x.ix, vals) {
+	var scratch []byte
+	x.ScanEqualScratch(&scratch, vals, yield)
+}
+
+// ScanEqualScratch is ScanEqual with a caller-owned key-encoding scratch
+// buffer, so a hot loop reusing one scratch probes without allocating. It is
+// strictly read-only: concurrent callers with private scratch buffers are
+// safe over a quiescent table.
+func (x *Index) ScanEqualScratch(scratch *[]byte, vals []sqltypes.Value, yield func(sqltypes.Row) bool) {
+	for _, s := range x.ix.lookup(scratch, vals) {
 		if !yield(x.t.rows[s]) {
 			return
 		}
@@ -234,25 +268,33 @@ func (t *Table) ContainsEqual(offs []int, vals []sqltypes.Value) bool {
 	return len(t.probeSlots(offs, vals)) > 0
 }
 
-// identityKey encodes the whole row into the scratch buffer for the
+// identityKey encodes the whole row into the write-path scratch for the
 // tuple-identity index (NULL encodes like any other value, so NULL matches
 // NULL, agreeing with IdenticalRows).
 func (t *Table) identityKey(r sqltypes.Row) []byte {
-	kb := t.keyBuf[:0]
+	kb := t.writeScratch[:0]
 	for _, v := range r {
 		kb = v.EncodeKey(kb)
 	}
-	t.keyBuf = kb
+	t.writeScratch = kb
 	return kb
 }
 
+// identityIndex resolves (building once) the all-columns index.
+func (t *Table) identityIndex() *index {
+	if t.idIx == nil {
+		t.idIx = t.ensureIndexOffsets(t.allCols)
+	}
+	return t.idIx
+}
+
 // ContainsRow reports whether an identical row exists (tuple identity:
-// NULL matches NULL).
+// NULL matches NULL). Write-path scratch: requires exclusive access.
 func (t *Table) ContainsRow(r sqltypes.Row) bool {
 	if len(r) != len(t.schema.Columns) {
 		return false
 	}
-	ix := t.ensureIndexOffsets(t.allColumnOffsets())
+	ix := t.identityIndex()
 	for _, s := range ix.slots[string(t.identityKey(r))] {
 		if sqltypes.IdenticalRows(t.rows[s], r) {
 			return true
@@ -282,7 +324,7 @@ func (t *Table) DeleteRow(r sqltypes.Row) bool {
 	if len(r) != len(t.schema.Columns) {
 		return false
 	}
-	ix := t.ensureIndexOffsets(t.allColumnOffsets())
+	ix := t.identityIndex()
 	for _, s := range ix.slots[string(t.identityKey(r))] {
 		if sqltypes.IdenticalRows(t.rows[s], r) {
 			t.deleteSlot(s)
@@ -290,16 +332,6 @@ func (t *Table) DeleteRow(r sqltypes.Row) bool {
 		}
 	}
 	return false
-}
-
-func (t *Table) allColumnOffsets() []int {
-	if t.allCols == nil {
-		t.allCols = make([]int, len(t.schema.Columns))
-		for i := range t.allCols {
-			t.allCols[i] = i
-		}
-	}
-	return t.allCols
 }
 
 func (t *Table) deleteSlot(slot int) {
