@@ -16,7 +16,9 @@ test:
 
 ## test-race: the experiment harness (and everything else) under the race
 ## detector; slower, catches engine/state sharing mistakes. Includes the
-## parallel commit-check scheduler's concurrent-safeCommit tests.
+## parallel commit-check scheduler's concurrent-safeCommit tests and the
+## intra-view partitioned-check tests (partition parity + concurrent
+## partitioned commits).
 test-race:
 	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/ ./internal/sched/
 
@@ -29,9 +31,10 @@ bench:
 bench-safecommit:
 	$(GO) test -run '^$$' -bench 'BenchmarkSafeCommit$$' -benchmem .
 
-## bench-parallel: the parallel commit-check scaling curve (1/2/4/8
-## workers over the multi-assertion workload), also tracked in
-## BENCH_safecommit.json.
+## bench-parallel: the parallel commit-check scaling curves (1/2/4/8
+## workers over the multi-assertion workload) — both the unsplit view-task
+## curve and the split-enabled curve (intra-view partitioning in auto
+## mode) — tracked in BENCH_safecommit.json.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkSafeCommitParallel' -benchmem .
 

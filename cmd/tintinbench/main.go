@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	tintinbench [-exp e1|e2|e3|e4|all] [-orders-per-gb n] [-gbs 1,2,3,4,5] [-mbs 1,5] [-quick] [-workers n]
+//	tintinbench [-exp e1|e2|e3|e4|all] [-orders-per-gb n] [-gbs 1,2,3,4,5] [-mbs 1,5] [-quick] [-workers n] [-perview]
 //
 // -workers > 1 runs every safeCommit check through the parallel
 // commit-check scheduler (internal/sched) with that many workers; results
 // are identical to serial runs, only the check times change.
+//
+// -perview skips the experiments and prints the per-view check-duration
+// skew table instead: which incremental views dominate a check, visible
+// without a profiler — the views the intra-view splitter partitions.
 package main
 
 import (
@@ -38,6 +42,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "generator seed")
 	quick := fs.Bool("quick", false, "small configuration for a fast smoke run")
 	workers := fs.Int("workers", 1, "parallel commit-check workers (1 = serial; >1 fans the per-assertion checks across a worker pool)")
+	perview := fs.Bool("perview", false, "print the per-view check-duration skew table instead of the experiments (which views dominate, what the splitter partitions)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +62,14 @@ func run(args []string) error {
 
 	fmt.Printf("TINTIN evaluation reproduction (1GB ≡ %d orders, seed %d, %d check worker(s))\n\n",
 		cfg.OrdersPerGB, cfg.Seed, max(1, cfg.Workers))
+	if *perview {
+		tab, err := harness.RunPerView(cfg)
+		if err != nil {
+			return fmt.Errorf("perview: %w", err)
+		}
+		fmt.Println(tab.Format())
+		return nil
+	}
 	if err := harness.VerifyDetection(cfg); err != nil {
 		return fmt.Errorf("correctness gate failed: %w", err)
 	}

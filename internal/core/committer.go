@@ -43,7 +43,9 @@ func (t *Tool) conflictKeys(op sched.Op) []string {
 }
 
 // commitBatch is the committer's BatchFunc: stage everything, check once,
-// and on rejection fall back to per-delta attribution.
+// and on rejection attribute the violating rows back to the contributing
+// deltas, so only the implicated deltas pay an individual re-check while
+// the rest commit together in one more pass.
 func (t *Tool) commitBatch(batch []sched.Delta) ([]sched.Ack[*CommitResult], error) {
 	// The committer's leader recovers panics and keeps serving, so a panic
 	// escaping mid-commit must not leave this batch's staged events behind
@@ -73,23 +75,167 @@ func (t *Tool) commitBatch(batch []sched.Delta) ([]sched.Ack[*CommitResult], err
 				t.db.TruncateEvents()
 			} else if res.Committed {
 				// The whole batch is clean: one check paid for all sessions.
-				// Each session gets its own shallow copy so it may mutate its
-				// result (zero a duration, annotate) without racing another
-				// goroutine; committed results carry no violation slices.
+				// Each session gets its own copy — deep where mutable — so it
+				// may mutate its result (zero a duration, annotate) without
+				// racing another goroutine; committed results carry no
+				// violation slices, but ViewDurations must not be shared.
 				for i := range acks {
-					r := *res
-					acks[i].Res = &r
+					acks[i].Res = copyResult(res)
 				}
 				return acks, nil
+			} else {
+				// Rejected: some delta is guilty. Attribute instead of
+				// falling straight back to O(batch) individual re-checks.
+				t.resolveRejected(batch, res, acks)
+				return acks, nil
 			}
-			// Rejected: some delta is guilty, re-check individually below.
 		}
 	}
-	for i := range batch {
+	t.commitEach(batch, acks, nil)
+	return acks, nil
+}
+
+// commitEach runs the per-delta fallback over the indexes in idx (nil =
+// every delta), writing each verdict into acks.
+func (t *Tool) commitEach(batch []sched.Delta, acks []sched.Ack[*CommitResult], idx []int) {
+	if idx == nil {
+		idx = make([]int, len(batch))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	for _, i := range idx {
 		res, err := t.commitOne(batch[i])
 		acks[i] = sched.Ack[*CommitResult]{Res: res, Err: err}
 	}
-	return acks, nil
+}
+
+// resolveRejected handles a rejected batch check: the violating rows are
+// attributed back to the deltas whose write sets they implicate, those
+// deltas are re-checked individually (accurate per-session verdicts), and
+// the non-implicated remainder commits together in a single group pass —
+// clean sessions pay one shared check instead of one each. Attribution is
+// a heuristic with a correctness backstop on both sides: a false positive
+// only costs an extra individual check, and if the "clean" remainder still
+// rejects as a group (a false negative hid the guilty delta), it falls
+// back to the per-delta pass. The remainder commits first, so an
+// implicated delta's re-check sees the clean sessions' effects — the same
+// serialization the old full fallback converged to.
+func (t *Tool) resolveRejected(batch []sched.Delta, res *CommitResult, acks []sched.Ack[*CommitResult]) {
+	keys := violationKeySet(res.Violations)
+	var implicated, rest []int
+	for i := range batch {
+		if t.deltaImplicated(batch[i], keys) {
+			implicated = append(implicated, i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	if len(implicated) == 0 || len(rest) == 0 {
+		// Attribution told us nothing (matched nobody or everybody):
+		// degrade to the plain per-delta pass.
+		t.commitEach(batch, acks, nil)
+		return
+	}
+	t.commitGroup(batch, acks, rest)
+	t.commitEach(batch, acks, implicated)
+}
+
+// commitGroup stages and checks the deltas at idx as one unit, acking each
+// with a copy of the shared result; any rejection or error degrades to the
+// per-delta pass over the same indexes.
+func (t *Tool) commitGroup(batch []sched.Delta, acks []sched.Ack[*CommitResult], idx []int) {
+	if len(idx) == 1 {
+		t.commitEach(batch, acks, idx)
+		return
+	}
+	for _, i := range idx {
+		if err := t.stageDelta(batch[i]); err != nil {
+			t.db.TruncateEvents()
+			t.commitEach(batch, acks, idx)
+			return
+		}
+	}
+	res, err := t.SafeCommit()
+	if err != nil {
+		t.db.TruncateEvents()
+		t.commitEach(batch, acks, idx)
+		return
+	}
+	if !res.Committed {
+		// The attribution missed the guilty delta (events are already
+		// truncated by the rejection path); per-delta re-check decides.
+		t.commitEach(batch, acks, idx)
+		return
+	}
+	for _, i := range idx {
+		acks[i] = sched.Ack[*CommitResult]{Res: copyResult(res)}
+	}
+}
+
+// copyResult returns a session-private copy of a shared commit result: the
+// header is copied by value and the mutable ViewDurations slice gets its
+// own backing array, so concurrent sessions normalizing their acks (zeroing
+// durations, say) never write the same memory.
+func copyResult(res *CommitResult) *CommitResult {
+	r := *res
+	r.ViewDurations = append([]ViewDuration(nil), res.ViewDurations...)
+	return &r
+}
+
+// violationKeySet collects the encoded values of every violating tuple.
+// Violation rows carry the joined tuple values of the incremental view, so
+// the key values of whichever pending event produced the row — primary keys
+// included — appear among them.
+func violationKeySet(viols []Violation) map[string]bool {
+	set := make(map[string]bool)
+	var buf []byte
+	for _, v := range viols {
+		for _, row := range v.Rows {
+			for _, val := range row {
+				buf = val.EncodeKey(buf[:0])
+				set[string(buf)] = true
+			}
+		}
+	}
+	return set
+}
+
+// deltaImplicated probes the delta's write set against the violation key
+// set: the delta is implicated when any key-column value of any of its ops
+// (primary-key columns when the table declares them, every column
+// otherwise) appears among the violating tuples' values. Key columns, not
+// whole rows, keep the probe discriminative — ids implicate, incidental
+// shared attribute values mostly don't.
+func (t *Tool) deltaImplicated(d sched.Delta, keys map[string]bool) bool {
+	var buf []byte
+	for _, op := range d.Ops {
+		offs := t.keyColumnOffsets(op.Table, len(op.Row))
+		for _, o := range offs {
+			buf = op.Row[o].EncodeKey(buf[:0])
+			if keys[string(buf)] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// keyColumnOffsets returns the offsets to probe for a row of width n in the
+// named table: the primary-key offsets when declared and the row has full
+// arity, every offset otherwise.
+func (t *Tool) keyColumnOffsets(table string, n int) []int {
+	if tb := t.db.Table(strings.ToLower(table)); tb != nil {
+		s := tb.Schema()
+		if pk := s.PrimaryKeyOffsets(); len(pk) > 0 && n == len(s.Columns) {
+			return pk
+		}
+	}
+	offs := make([]int, n)
+	for i := range offs {
+		offs[i] = i
+	}
+	return offs
 }
 
 // commitOne stages and safeCommits a single delta (the event tables are

@@ -40,6 +40,23 @@ type Options struct {
 	// takes the serial path on the calling goroutine; any worker count
 	// produces identical CommitResults (TestParallelCheckParity).
 	Workers int
+	// SplitThreshold guides intra-view parallelism when Workers > 1: a view
+	// whose estimated check duration (an EWMA of observed durations, see
+	// CommitResult.ViewDurations) exceeds the threshold has its driving
+	// event scan split into row-range partitions, each checked as its own
+	// scheduler task, so one hot view saturates every worker instead of
+	// pinning one. Zero (the default) is auto mode — the threshold is the
+	// fair per-worker share of the check's total estimated work; negative
+	// disables splitting; positive is a fixed cut size. Results are merged
+	// in partition order and are bit-identical to an unsplit check
+	// (TestPartitionedCheckParity).
+	SplitThreshold time.Duration
+	// FailFast stops every view check at the first violating row: a
+	// rejected commit reports one witness tuple per violated view instead
+	// of the full violation set. For callers that only need accept/reject
+	// it caps the cost of pathological updates at the detection cost. The
+	// witness is deterministic — the first row the serial check would find.
+	FailFast bool
 }
 
 // DefaultOptions enables everything, matching the paper's tool.
@@ -95,6 +112,17 @@ type CommitResult struct {
 	// NormalizeDuration is the event-normalization overhead, reported
 	// separately (it is per-transaction, not per-assertion).
 	NormalizeDuration time.Duration
+	// ViewDurations reports the observed evaluation time of every view this
+	// check evaluated, in check order (for a split check, the summed
+	// partition times — the view's work, not its wall time). It feeds the
+	// splitter's cost model and tintinbench's -perview skew table.
+	ViewDurations []ViewDuration
+}
+
+// ViewDuration is one view's observed check time within a CommitResult.
+type ViewDuration struct {
+	View     string
+	Duration time.Duration
 }
 
 // Tool is a TINTIN instance bound to one database.
@@ -107,6 +135,8 @@ type Tool struct {
 
 	// pool is the parallel commit-check scheduler (nil when Workers <= 1).
 	pool *sched.Pool
+	// cost estimates per-view check durations (EWMA) for the task splitter.
+	cost costModel
 	// checkRes is the serial path's reusable result buffer: the common
 	// no-violation check re-executes plans into it without allocating
 	// result storage. Violation rows are copied out before reuse.
@@ -356,9 +386,14 @@ func (t *Tool) Check() (*CommitResult, error) {
 		}
 	}
 
+	res.ViewDurations = make([]ViewDuration, 0, len(checks))
+	// Route to the pool when there is anything to overlap: several views,
+	// or a single view the cost model wants to split — the one-hot-view
+	// schema is exactly the case intra-view parallelism exists for, so a
+	// length-1 check list must not force the serial path.
 	var err error
-	if t.pool != nil && len(checks) > 1 {
-		err = t.checkParallel(checks, res)
+	if parts := t.splitDecision(checks); parts != nil {
+		err = t.checkParallel(checks, parts, res)
 	} else {
 		err = t.checkSerial(checks, res)
 	}
@@ -377,17 +412,48 @@ type viewCheck struct {
 	view      string
 }
 
+// splitDecision returns the per-check partition counts when the check list
+// should fan out across the pool, nil when the serial path is right: no
+// pool, an empty list, or a single view the splitter would leave whole
+// (where the pool's freeze/merge machinery buys nothing).
+func (t *Tool) splitDecision(checks []viewCheck) []int {
+	if t.pool == nil || len(checks) == 0 {
+		return nil
+	}
+	parts := t.cost.splitParts(checks, t.pool.Workers(), t.opts.SplitThreshold)
+	if len(checks) == 1 && parts[0] <= 1 {
+		return nil
+	}
+	return parts
+}
+
+// rowLimit is the per-view row cap the options imply (0 = no cap).
+func (t *Tool) rowLimit() int {
+	if t.opts.FailFast {
+		return 1
+	}
+	return 0
+}
+
 // checkSerial evaluates the check list in order on the calling goroutine,
-// reusing the tool's result buffer.
+// reusing the tool's result buffer. Every view's duration is measured and
+// fed to the cost model even on this path, so a tool later reconfigured for
+// (or benchmarked against) the parallel splitter starts with warm
+// estimates, and -perview skew tables work without workers.
 func (t *Tool) checkSerial(checks []viewCheck, res *CommitResult) error {
+	limit := t.rowLimit()
 	for _, c := range checks {
 		p, err := t.eng.PrepareView(c.view)
 		if err != nil {
 			return fmt.Errorf("tintin: evaluating %s: %w", c.view, err)
 		}
-		if err := p.QueryInto(&t.checkRes); err != nil {
+		start := time.Now()
+		if err := p.QueryLimitInto(limit, &t.checkRes); err != nil {
 			return fmt.Errorf("tintin: evaluating %s: %w", c.view, err)
 		}
+		d := time.Since(start)
+		res.ViewDurations = append(res.ViewDurations, ViewDuration{View: c.view, Duration: d})
+		t.cost.observe(c.view, d)
 		if len(t.checkRes.Rows) > 0 {
 			res.Violations = append(res.Violations, Violation{
 				Assertion: c.assertion.Name,
@@ -406,7 +472,15 @@ func (t *Tool) checkSerial(checks []viewCheck, res *CommitResult) error {
 // before the fan-out; the database is frozen for its duration so every
 // worker probes an immutable snapshot; and outcomes are merged back in
 // check-list order, so violation ordering is identical to the serial path.
-func (t *Tool) checkParallel(checks []viewCheck, res *CommitResult) error {
+//
+// The cost model then decides which views to split: a view whose estimated
+// duration exceeds the split threshold (see Options.SplitThreshold) and
+// whose plan is driven by an event-table scan becomes several partition
+// subtasks instead of one task, so the slowest view no longer bounds the
+// fan-out's makespan. The pool merges partition outputs in range order, so
+// splitting never changes a CommitResult.
+func (t *Tool) checkParallel(checks []viewCheck, parts []int, res *CommitResult) error {
+	limit := t.rowLimit()
 	tasks := make([]sched.Task, len(checks))
 	for i, c := range checks {
 		p, err := t.eng.PrepareView(c.view)
@@ -416,13 +490,16 @@ func (t *Tool) checkParallel(checks []viewCheck, res *CommitResult) error {
 		if !p.Cacheable() {
 			// Non-cacheable plans re-plan per execution and may build
 			// indexes on demand: the scheduler runs them on its serial lane.
-			tasks[i] = sched.Task{Plan: p, Serial: true}
+			tasks[i] = sched.Task{Plan: p, Serial: true, Limit: limit}
 			continue
 		}
 		if err := p.EnsureIndexes(); err != nil {
 			return fmt.Errorf("tintin: evaluating %s: %w", c.view, err)
 		}
-		tasks[i] = sched.Task{Plan: p}
+		tasks[i] = sched.Task{Plan: p, Limit: limit}
+		if parts[i] > 1 && splittable(p) {
+			tasks[i].Parts = parts[i]
+		}
 	}
 
 	t.db.Freeze()
@@ -434,6 +511,8 @@ func (t *Tool) checkParallel(checks []viewCheck, res *CommitResult) error {
 		if out.Err != nil {
 			return fmt.Errorf("tintin: evaluating %s: %w", c.view, out.Err)
 		}
+		res.ViewDurations = append(res.ViewDurations, ViewDuration{View: c.view, Duration: out.Duration})
+		t.cost.observe(c.view, out.Duration)
 		if len(out.Rows) > 0 {
 			res.Violations = append(res.Violations, Violation{
 				Assertion: c.assertion.Name,

@@ -37,9 +37,16 @@ var BankAssertions = []string{
 // with the given commit-check worker count, and compiles BankAssertions.
 func NewBankTool(t testing.TB, workers int) *core.Tool {
 	t.Helper()
-	db := storage.NewDB("bank")
 	opts := core.DefaultOptions()
 	opts.Workers = workers
+	return NewBankToolOpts(t, opts)
+}
+
+// NewBankToolOpts is NewBankTool with full control over the tool options
+// (worker count, split threshold, fail-fast, ablation toggles).
+func NewBankToolOpts(t testing.TB, opts core.Options) *core.Tool {
+	t.Helper()
+	db := storage.NewDB("bank")
 	tool := core.New(db, opts)
 	if _, err := tool.Engine().ExecSQL(`
 		CREATE TABLE customer (c_id INTEGER PRIMARY KEY, c_name VARCHAR NOT NULL);

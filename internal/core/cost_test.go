@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func checksNamed(names ...string) []viewCheck {
+	out := make([]viewCheck, len(names))
+	for i, n := range names {
+		out[i] = viewCheck{view: n}
+	}
+	return out
+}
+
+// TestCostModelEWMA: first observation seeds the estimate, later ones move
+// it by the EWMA weight, so a one-off outlier shifts the estimate but does
+// not replace it.
+func TestCostModelEWMA(t *testing.T) {
+	var m costModel
+	m.observe("v", 1000)
+	if got := m.estimate("v"); got != 1000 {
+		t.Fatalf("seed estimate %v, want 1000", got)
+	}
+	m.observe("v", 2000)
+	want := time.Duration(1000 + (2000-1000)*costAlphaNum/costAlphaDen)
+	if got := m.estimate("v"); got != want {
+		t.Fatalf("post-observation estimate %v, want %v", got, want)
+	}
+	if got := m.estimate("unknown"); got != 0 {
+		t.Fatalf("unknown view estimate %v, want 0", got)
+	}
+}
+
+// TestSplitPartsAuto encodes the makespan bound the splitter aims for: in
+// auto mode a view estimated above the fair per-worker share of the check
+// splits into ceil(est/fair) parts, so no task is scheduled longer than
+// the fair share plus one partition, while cheap views and unknown views
+// stay whole.
+func TestSplitPartsAuto(t *testing.T) {
+	ms := time.Millisecond
+	var m costModel
+	m.observe("hot", 800*ms)
+	m.observe("warm", 100*ms)
+	m.observe("cool", 100*ms)
+	checks := checksNamed("hot", "warm", "cool", "unknown")
+	parts := m.splitParts(checks, 4, 0)
+	// total = 1000ms, fair = 250ms: hot → ceil(800/250) = 4, rest whole.
+	want := []int{4, 1, 1, 1}
+	for i := range want {
+		if parts[i] != want[i] {
+			t.Fatalf("auto parts = %v, want %v", parts, want)
+		}
+	}
+	// One dominant view saturates all workers even alone in the list —
+	// the one-hot-view schema is the splitter's motivating case.
+	alone := m.splitParts(checksNamed("hot"), 4, 0)
+	if alone[0] != 4 {
+		t.Fatalf("solo hot view got %d parts, want 4", alone[0])
+	}
+}
+
+// TestSplitPartsAutoFloor: auto mode never cuts partitions finer than
+// autoSplitFloor — microsecond-scale views stay whole no matter how
+// dominant, and a view above the floor cuts into floor-sized pieces when
+// the fair share would be finer.
+func TestSplitPartsAutoFloor(t *testing.T) {
+	var m costModel
+	m.observe("tiny", 800) // 800ns: dominant but far below the floor
+	if got := m.splitParts(checksNamed("tiny"), 4, 0)[0]; got != 1 {
+		t.Fatalf("sub-floor view split into %d parts", got)
+	}
+	m.observe("mid", 2*autoSplitFloor)
+	// fair share = 2*floor/8 < floor → threshold clamps to the floor →
+	// ceil(2floor/floor) = 2 parts, not 8.
+	if got := m.splitParts(checksNamed("mid"), 8, 0)[0]; got != 2 {
+		t.Fatalf("floor-clamped view got %d parts, want 2", got)
+	}
+}
+
+// TestSplitPartsModes: fixed thresholds cut by size and cap at the worker
+// count (and bypass the auto floor); negative disables; workers<=1 never
+// splits; an estimate-free check list never splits.
+func TestSplitPartsModes(t *testing.T) {
+	var m costModel
+	m.observe("hot", 1000)
+	checks := checksNamed("hot")
+	if got := m.splitParts(checks, 4, 100)[0]; got != 4 {
+		t.Fatalf("fixed threshold: %d parts, want cap 4", got)
+	}
+	if got := m.splitParts(checks, 4, 600)[0]; got != 2 {
+		t.Fatalf("fixed threshold 600: %d parts, want 2", got)
+	}
+	if got := m.splitParts(checks, 4, -1)[0]; got != 1 {
+		t.Fatalf("disabled splitting still split: %d", got)
+	}
+	if got := m.splitParts(checks, 1, 0)[0]; got != 1 {
+		t.Fatalf("single worker split: %d", got)
+	}
+	var empty costModel
+	if got := empty.splitParts(checks, 4, 0)[0]; got != 1 {
+		t.Fatalf("no-estimate auto split: %d", got)
+	}
+}

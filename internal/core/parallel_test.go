@@ -27,7 +27,9 @@ var bankUpdates = []string{
 
 // runBankWorkload executes the update sequence, collecting the
 // CommitResult of each safeCommit with timing fields zeroed (they are the
-// only legitimately nondeterministic part).
+// only legitimately nondeterministic part). ViewDurations keeps its view
+// names and order — those must match across paths — with the measured
+// times zeroed.
 func runBankWorkload(t testing.TB, tool *core.Tool) []*core.CommitResult {
 	t.Helper()
 	var out []*core.CommitResult
@@ -41,6 +43,9 @@ func runBankWorkload(t testing.TB, tool *core.Tool) []*core.CommitResult {
 		}
 		res.Duration = 0
 		res.NormalizeDuration = 0
+		for i := range res.ViewDurations {
+			res.ViewDurations[i].Duration = 0
+		}
 		out = append(out, res)
 	}
 	return out

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -413,6 +414,68 @@ func RunE4(cfg Config) (*Table, error) {
 			fmt.Sprintf("%d", c.skipped),
 			fmtDur(c.tintin),
 		})
+	}
+	return t, nil
+}
+
+// RunPerView measures the per-view check-time skew over the full
+// complexity-assertion set: one staged update, several repeated checks, and
+// a table of every evaluated view's mean duration and share of the total —
+// cmd/tintinbench's -perview flag. This is the observability face of the
+// intra-view splitter: the views at the top of this table are the ones the
+// cost model will cut into partition subtasks, and their share column says
+// what the per-view task granularity caps the parallel speedup at.
+func RunPerView(cfg Config) (*Table, error) {
+	const reps = 5
+	gb := cfg.GBs[len(cfg.GBs)-1]
+	mb := cfg.MBs[len(cfg.MBs)-1]
+	tool, gen, err := setup(cfg, gb, cfg.options(), tpch.ComplexityAssertions())
+	if err != nil {
+		return nil, err
+	}
+	u, err := cfg.cleanUpdate(gen, mb)
+	if err != nil {
+		return nil, err
+	}
+	if err := u.Stage(tool.DB()); err != nil {
+		return nil, err
+	}
+	defer tool.DB().TruncateEvents()
+	if _, err := tool.Check(); err != nil { // warm-up: see measure's comment
+		return nil, err
+	}
+	sum := map[string]time.Duration{}
+	var order []string
+	var total time.Duration
+	for r := 0; r < reps; r++ {
+		res, err := tool.Check()
+		if err != nil {
+			return nil, err
+		}
+		for _, vd := range res.ViewDurations {
+			if _, seen := sum[vd.View]; !seen {
+				order = append(order, vd.View)
+			}
+			sum[vd.View] += vd.Duration
+			total += vd.Duration
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return sum[order[i]] > sum[order[j]] })
+
+	t := &Table{
+		Title:   fmt.Sprintf("Per-view check durations — %dGB data, %dMB update, mean of %d checks", gb, mb, reps),
+		Headers: []string{"view", "mean", "share"},
+		Notes: []string{
+			"the top view bounds the per-view parallel speedup; views above the fair share are what the splitter partitions",
+		},
+	}
+	for _, v := range order {
+		mean := sum[v] / reps
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(sum[v]) / float64(total)
+		}
+		t.Rows = append(t.Rows, []string{v, mean.String(), fmt.Sprintf("%.1f%%", share)})
 	}
 	return t, nil
 }

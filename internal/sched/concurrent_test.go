@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"tintin/internal/core"
 	"tintin/internal/core/coretest"
 	"tintin/internal/sched"
 	"tintin/internal/sqltypes"
@@ -92,6 +93,60 @@ func TestConcurrentSafeCommit(t *testing.T) {
 	}
 	if !res.Committed {
 		t.Fatalf("final state dirty: %v", res.Violations)
+	}
+}
+
+// TestConcurrentPartitionedSafeCommit is the TestConcurrentSafeCommit
+// workload with intra-view splitting forced on every estimated view
+// (SplitThreshold 1ns): under -race this additionally exercises the
+// partition expansion, concurrent QueryPartitionInto over worker clones,
+// and the partition-order merge. Multi-op deltas widen the event tables so
+// the driving scans actually have rows to cut.
+func TestConcurrentPartitionedSafeCommit(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Workers = 4
+	opts.SplitThreshold = 1
+	tool := coretest.NewBankToolOpts(t, opts)
+	committer := tool.NewCommitter()
+	seeded := tool.DB().MustTable("transfer").Len()
+
+	const sessions = 6
+	const perSession = 10
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int64) {
+			defer wg.Done()
+			for i := int64(0); i < perSession; i++ {
+				base := 40000 + s*1000 + i*10
+				amount := 2.0
+				dirty := i%3 == 2
+				if dirty {
+					amount = -1.0 // violates positiveAmount
+				}
+				d := sched.Delta{Ops: []sched.Op{
+					{Table: "transfer", Row: sqltypes.Row{iv(base), iv(100), iv(200), fv(amount)}},
+					{Table: "transfer", Row: sqltypes.Row{iv(base + 1), iv(200), iv(100), fv(3.0)}},
+					{Table: "transfer", Row: sqltypes.Row{iv(base + 2), iv(100), iv(200), fv(4.0)}},
+				}}
+				res, err := committer.Commit(d)
+				if err != nil {
+					t.Errorf("session %d commit %d: %v", s, i, err)
+					return
+				}
+				if res.Committed == dirty {
+					t.Errorf("session %d commit %d: dirty=%v but committed=%v", s, i, dirty, res.Committed)
+				}
+				if res.Committed {
+					committed.Add(3)
+				}
+			}
+		}(int64(s))
+	}
+	wg.Wait()
+	if got := tool.DB().MustTable("transfer").Len(); got != seeded+int(committed.Load()) {
+		t.Fatalf("transfer table has %d rows, want %d", got, seeded+int(committed.Load()))
 	}
 }
 

@@ -8,15 +8,24 @@
 // clones of the compiled plans plus its own scratch buffers, and violation
 // output is merged back in task order, so results are deterministic
 // regardless of which worker ran what when.
+//
+// The unit of scheduled work is a view *partition*, not a view: a task may
+// ask for its plan's driving scan to be split into K disjoint row ranges
+// (Task.Parts), each running as its own subtask, so a single hot view
+// saturates every worker instead of pinning one. Partition outputs are
+// merged back in range order, which makes the split invisible to callers —
+// one Outcome per Task, bit-identical to an unsplit run.
 package sched
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tintin/internal/engine"
 	"tintin/internal/sqltypes"
+	"tintin/internal/storage"
 )
 
 // Task is one independent commit-check unit: a compiled incremental-view
@@ -29,6 +38,18 @@ type Task struct {
 	// it for plans that are not cacheable: those re-plan per execution and
 	// may build indexes on demand, which mutates shared table state.
 	Serial bool
+	// Parts asks for this task's driving scan to be split into that many
+	// row-range partitions, each scheduled as its own subtask; the partial
+	// outputs are merged back in partition order, so the caller still
+	// receives a single Outcome identical to an unsplit run. Parts <= 1, a
+	// plan with no driving scan (engine.PreparedQuery.DrivingScan), or a
+	// driving table too small to cut leaves the task whole.
+	Parts int
+	// Limit caps the rows collected for this task (0 = unlimited): the
+	// FailFast accept/reject path. The cap is enforced per partition during
+	// execution and again at the merge, so a split task returns exactly the
+	// rows a serial limited run would.
+	Limit int
 }
 
 // Outcome is the result of one task: the rows the view returned (copied out
@@ -39,6 +60,18 @@ type Outcome struct {
 	Columns []string
 	Rows    []sqltypes.Row
 	Err     error
+	// Duration is the execution time spent on this task — for a split task
+	// the sum over its partitions (the view's total work, not its wall
+	// time). It feeds the caller's per-view cost model.
+	Duration time.Duration
+}
+
+// subtask is the pool's internal unit of scheduled work: one whole task or
+// one partition of a split task.
+type subtask struct {
+	task  int // index into the Run tasks
+	part  storage.RowRange
+	split bool
 }
 
 // Pool runs check tasks across a fixed set of workers. Each worker owns
@@ -51,6 +84,10 @@ type Pool struct {
 	// states[0:workers] belong to the worker goroutines; the extra last
 	// slot is the coordinator's serial lane for non-cloneable plans.
 	states []*workerState
+	// subs / partials are the expansion and partial-outcome scratch,
+	// reused across Run calls so steady-state commits don't allocate them.
+	subs     []subtask
+	partials []Outcome
 }
 
 type workerState struct {
@@ -78,17 +115,20 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
 
-func (st *workerState) runTask(t Task) (out Outcome) {
+// runSub executes one subtask and returns its partial outcome. serial
+// routes around the clone cache (the coordinator runs the shared plan
+// directly, for plans that cannot be cloned).
+func (st *workerState) runSub(t Task, sub subtask, serial bool) (out Outcome) {
 	// A panic on a pool goroutine would kill the process (nothing above a
 	// worker recovers); surface it as this task's error instead, matching
 	// the serial path where the committer's leader recovers.
 	defer func() {
 		if r := recover(); r != nil {
-			out = Outcome{Err: fmt.Errorf("sched: check task panicked: %v", r)}
+			out = Outcome{Err: fmt.Errorf("sched: check task panicked: %v", r), Duration: out.Duration}
 		}
 	}()
 	plan := t.Plan
-	if !t.Serial {
+	if !serial {
 		clone, ok := st.clones[plan]
 		if !ok {
 			if len(st.clones) >= clonesCap {
@@ -99,29 +139,34 @@ func (st *workerState) runTask(t Task) (out Outcome) {
 		}
 		plan = clone
 	}
-	if err := plan.QueryInto(&st.res); err != nil {
-		return Outcome{Err: err}
+	start := time.Now()
+	var err error
+	if sub.split {
+		err = plan.QueryPartitionInto(sub.part, t.Limit, &st.res)
+	} else {
+		err = plan.QueryLimitInto(t.Limit, &st.res)
+	}
+	out.Duration = time.Since(start)
+	if err != nil {
+		out.Err = err
+		return out
 	}
 	if len(st.res.Rows) == 0 {
-		return Outcome{}
+		return out
 	}
 	// Violations are rare; copy them out of the reusable buffer only then.
-	return Outcome{
-		Columns: st.res.Columns,
-		Rows:    append([]sqltypes.Row(nil), st.res.Rows...),
-	}
+	out.Columns = st.res.Columns
+	out.Rows = append([]sqltypes.Row(nil), st.res.Rows...)
+	return out
 }
 
-// Run executes every task and returns their outcomes in task order. Tasks
-// marked Serial run first, on the coordinator goroutine, BEFORE the
-// workers start: a serial task re-plans per execution and may build an
-// index on demand — a table mutation that must not overlap the workers'
-// reads. The parallel tasks are then pulled off a shared counter by the
-// workers. The caller must guarantee the database is quiescent for the
-// duration.
-func (p *Pool) Run(tasks []Task) []Outcome {
-	outs := make([]Outcome, len(tasks))
-	var par, ser []int
+// expand turns the task list into the subtask schedule: serial-lane indexes
+// first (returned separately), then the parallel subtasks — split tasks
+// contributing one subtask per driving-scan partition. Expansion runs on
+// the coordinator before any worker starts, so the read-only Partitions
+// call sees the same quiescent table state the workers will.
+func (p *Pool) expand(tasks []Task) (par []subtask, ser []int) {
+	par = p.subs[:0]
 	for i, t := range tasks {
 		// Non-cacheable plans are forced onto the serial lane regardless of
 		// what the caller set: Clone returns the shared receiver for them,
@@ -129,26 +174,96 @@ func (p *Pool) Run(tasks []Task) []Outcome {
 		// plan cache through its per-execution re-planning).
 		if t.Serial || !t.Plan.Cacheable() {
 			ser = append(ser, i)
+			continue
+		}
+		if t.Parts > 1 {
+			if tab, ok := t.Plan.DrivingScan(); ok {
+				if ranges := tab.Partitions(t.Parts); len(ranges) > 1 {
+					for _, r := range ranges {
+						par = append(par, subtask{task: i, part: r, split: true})
+					}
+					continue
+				}
+			}
+		}
+		par = append(par, subtask{task: i})
+	}
+	p.subs = par
+	return par, ser
+}
+
+// merge folds the partial outcomes (aligned with subs) back into one
+// Outcome per task: rows concatenate in partition order — the deterministic
+// serial order — durations sum, the first error in partition order wins and
+// clears that task's rows, and Limit is re-applied across the whole task so
+// a split FailFast check returns exactly the serial prefix.
+func merge(tasks []Task, subs []subtask, partials []Outcome, outs []Outcome) {
+	for si, sub := range subs {
+		pr := &partials[si]
+		o := &outs[sub.task]
+		o.Duration += pr.Duration
+		if o.Err != nil {
+			continue
+		}
+		if pr.Err != nil {
+			o.Err = pr.Err
+			o.Columns, o.Rows = nil, nil
+			continue
+		}
+		if len(pr.Rows) == 0 {
+			continue
+		}
+		if o.Columns == nil {
+			o.Columns = pr.Columns
+		}
+		if o.Rows == nil {
+			o.Rows = pr.Rows
 		} else {
-			par = append(par, i)
+			o.Rows = append(o.Rows, pr.Rows...)
 		}
 	}
+	for i, t := range tasks {
+		if t.Limit > 0 && len(outs[i].Rows) > t.Limit {
+			outs[i].Rows = outs[i].Rows[:t.Limit]
+		}
+	}
+}
+
+// Run executes every task and returns their outcomes in task order. Tasks
+// marked Serial run first, on the coordinator goroutine, BEFORE the
+// workers start: a serial task re-plans per execution and may build an
+// index on demand — a table mutation that must not overlap the workers'
+// reads. The parallel subtasks (whole tasks and partitions of split tasks)
+// are then pulled off a shared counter by the workers. The caller must
+// guarantee the database is quiescent for the duration.
+func (p *Pool) Run(tasks []Task) []Outcome {
+	outs := make([]Outcome, len(tasks))
+	par, ser := p.expand(tasks)
 
 	coord := p.states[p.workers]
 	for _, ti := range ser {
-		outs[ti] = coord.runTask(tasks[ti])
+		outs[ti] = coord.runSub(tasks[ti], subtask{task: ti}, true)
 	}
 
 	nw := p.workers
 	if nw > len(par) {
 		nw = len(par)
 	}
+	if cap(p.partials) < len(par) {
+		p.partials = make([]Outcome, len(par))
+	}
+	partials := p.partials[:len(par)]
+	for i := range partials {
+		partials[i] = Outcome{} // stale results from the previous Run
+	}
+	p.partials = partials
 	if nw <= 1 {
 		// Nothing to fan out (or a single worker): run everything here and
 		// skip the goroutine machinery.
-		for _, ti := range par {
-			outs[ti] = p.states[0].runTask(tasks[ti])
+		for si, sub := range par {
+			partials[si] = p.states[0].runSub(tasks[sub.task], sub, false)
 		}
+		merge(tasks, par, partials, outs)
 		return outs
 	}
 
@@ -163,11 +278,11 @@ func (p *Pool) Run(tasks []Task) []Outcome {
 				if i >= len(par) {
 					return
 				}
-				ti := par[i]
-				outs[ti] = st.runTask(tasks[ti])
+				partials[i] = st.runSub(tasks[par[i].task], par[i], false)
 			}
 		}(p.states[w])
 	}
 	wg.Wait()
+	merge(tasks, par, partials, outs)
 	return outs
 }

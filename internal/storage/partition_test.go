@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"tintin/internal/sqltypes"
+)
+
+// partitionTable builds a table of n rows and tombstones every slot whose
+// value divides by holeEvery (holeEvery 0 = no tombstones), producing the
+// ragged live-row layout Partitions has to balance around.
+func partitionTable(t *testing.T, n, holeEvery int) *Table {
+	t.Helper()
+	s, err := NewSchema("p", []Column{{Name: "v", Type: sqltypes.KindInt}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTable(s)
+	for i := 0; i < n; i++ {
+		if err := tb.Insert(sqltypes.Row{sqltypes.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if holeEvery > 0 {
+		tb.Delete(func(r sqltypes.Row) bool {
+			v := r[0].Int()
+			return v%int64(holeEvery) == 0
+		})
+	}
+	return tb
+}
+
+func rowsOf(tb *Table) []int64 {
+	var out []int64
+	tb.Scan(func(r sqltypes.Row) bool {
+		v := r[0].Int()
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// TestPartitionsCoverAndBalance: for ragged tables (tombstoned slots) and a
+// spread of k values, the ranges must cover all slots disjointly in order,
+// balance live rows within one, and concatenating ScanRange outputs must
+// reproduce Scan exactly.
+func TestPartitionsCoverAndBalance(t *testing.T) {
+	for _, tc := range []struct{ n, holes, k int }{
+		{100, 0, 2}, {100, 0, 3}, {100, 0, 8},
+		{97, 3, 2}, {97, 3, 3}, {97, 3, 8}, // ragged: every 3rd slot dead
+		{10, 2, 8},                         // live barely above k
+		{5, 0, 8},                          // k > live: clamp
+		{1, 0, 4},
+		{0, 0, 4}, // empty table
+		{6, 1, 3}, // every slot dead
+	} {
+		t.Run(fmt.Sprintf("n=%d/holes=%d/k=%d", tc.n, tc.holes, tc.k), func(t *testing.T) {
+			tb := partitionTable(t, tc.n, tc.holes)
+			want := rowsOf(tb)
+			parts := tb.Partitions(tc.k)
+
+			if len(parts) == 0 {
+				t.Fatal("no ranges returned")
+			}
+			if tb.Len() >= tc.k && tc.k > 1 && len(parts) != tc.k {
+				t.Fatalf("got %d ranges, want %d", len(parts), tc.k)
+			}
+			if parts[0].Start != 0 || parts[len(parts)-1].End != tc.n {
+				t.Fatalf("ranges %v do not cover [0,%d)", parts, tc.n)
+			}
+			var got []int64
+			minLive, maxLive := -1, -1
+			for i, r := range parts {
+				if i > 0 && r.Start != parts[i-1].End {
+					t.Fatalf("ranges %v not contiguous at %d", parts, i)
+				}
+				live := 0
+				tb.ScanRange(r, func(row sqltypes.Row) bool {
+					v := row[0].Int()
+					got = append(got, v)
+					live++
+					return true
+				})
+				if minLive < 0 || live < minLive {
+					minLive = live
+				}
+				if live > maxLive {
+					maxLive = live
+				}
+			}
+			if len(parts) > 1 && maxLive-minLive > 1 {
+				t.Fatalf("unbalanced ranges: live counts span %d..%d", minLive, maxLive)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("ranges yield %d rows, Scan yields %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("row %d: ranges yield %d, Scan yields %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestScanRangeEarlyExit: a yield returning false stops within the range.
+func TestScanRangeEarlyExit(t *testing.T) {
+	tb := partitionTable(t, 10, 0)
+	seen := 0
+	tb.ScanRange(RowRange{0, 10}, func(sqltypes.Row) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("early exit after %d rows, want 3", seen)
+	}
+}
+
+// TestScanRangeClampsEnd: an End past the slot array is clamped, so ranges
+// computed before trailing truncation never panic.
+func TestScanRangeClampsEnd(t *testing.T) {
+	tb := partitionTable(t, 4, 0)
+	n := 0
+	tb.ScanRange(RowRange{2, 99}, func(sqltypes.Row) bool {
+		n++
+		return true
+	})
+	if n != 2 {
+		t.Fatalf("clamped range yields %d rows, want 2", n)
+	}
+}
