@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet test-race bench bench-safecommit bench-parallel e1
+.PHONY: check build test vet test-race fuzz bench bench-safecommit bench-parallel e1
 
 ## check: the tier-1 gate — vet, build, and test everything.
 check: vet build test
@@ -21,6 +21,17 @@ test:
 ## partitioned commits).
 test-race:
 	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/ ./internal/sched/
+
+## fuzz: budgeted smoke run of the fuzz targets — the differential oracle
+## (incremental vs baseline verdicts across all commit-check modes), the
+## group-commit attribution stream, and the parser round-trip property.
+## The checked-in corpora under testdata/fuzz/ replay as seeds on every
+## plain `go test` run; this target additionally mutates for FUZZTIME each.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/difftest -fuzz 'FuzzDifferential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/difftest -fuzz 'FuzzAttribution$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sqlparser -fuzz 'FuzzParseRoundTrip$$' -fuzztime $(FUZZTIME)
 
 ## bench: the full benchmark families (reduced scales; minutes).
 bench:

@@ -16,6 +16,7 @@
 //	\denials NAME        show the logic denials of an assertion
 //	\edcs NAME           show the EDCs (and discarded ones) of an assertion
 //	\views NAME          show the generated incremental SQL views
+//	\explain NAME        show the compiled plans of an assertion as JSON
 //	\stats               show compilation statistics
 //	\tables              list tables with row counts
 //	\quit                exit
@@ -23,6 +24,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -210,6 +212,19 @@ func meta(tool *core.Tool, cmd string, out io.Writer) error {
 			}
 		}
 		return nil
+
+	case "\\explain":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\explain NAME")
+		}
+		ex, err := tool.Explain(fields[1])
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(out)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		return enc.Encode(ex)
 
 	case "\\stats":
 		s := tool.Stats()

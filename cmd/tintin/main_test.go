@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -100,5 +101,48 @@ func TestMetaArgumentValidation(t *testing.T) {
 	out := runShell(t, "\\views\n\\views nope\n\\quit\n")
 	if strings.Count(out, "error:") != 2 {
 		t.Errorf("expected two errors:\n%s", out)
+	}
+}
+
+const explainScript = `
+CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, o_totalprice REAL);
+CREATE TABLE lineitem (
+  l_orderkey INTEGER NOT NULL,
+  l_linenumber INTEGER NOT NULL,
+  PRIMARY KEY (l_orderkey, l_linenumber)
+);
+\install
+CREATE ASSERTION everyOrderHasLines CHECK(
+  NOT EXISTS(
+    SELECT * FROM orders AS o
+    WHERE NOT EXISTS (
+      SELECT * FROM lineitem AS l
+      WHERE l.l_orderkey = o.o_orderkey)));
+\explain everyOrderHasLines
+INSERT INTO orders VALUES (1, 10.5);
+INSERT INTO lineitem VALUES (1, 1);
+CALL safeCommit;
+\explain everyOrderHasLines
+\quit
+`
+
+// TestExplainGolden pins the \explain JSON — plan trees, access paths and
+// plan-cache counters — byte for byte, across a full cache cycle: the first
+// \explain sees the eagerly-prepared (cached) plans, and the second runs
+// after a commit check exercised them. Regenerate with UPDATE_GOLDEN=1.
+func TestExplainGolden(t *testing.T) {
+	out := runShell(t, explainScript)
+	const golden = "testdata/explain.golden"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Fatalf("\\explain output drifted from %s (set UPDATE_GOLDEN=1 to regenerate)\n--- got ---\n%s", golden, out)
 	}
 }

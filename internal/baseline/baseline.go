@@ -82,52 +82,16 @@ func (c *Checker) evalCheck(check sqlparser.Expr) (rows []sqltypes.Row, violated
 		}
 		return res.Rows, len(res.Rows) > 0, nil
 	}
-	// General condition: SELECT it against a constant query is not
-	// expressible in the fragment, so evaluate the negation via EXISTS
-	// handling: build NOT(check) and test satisfiability per conjunct is
-	// overkill — run the check's subqueries through a one-row trick.
-	holds, err := c.evalBoolean(check)
+	// General condition: evaluate the closed predicate under SQL
+	// three-valued logic. A CHECK constraint is violated only when the
+	// condition evaluates to FALSE; UNKNOWN satisfies it — the incremental
+	// side implements the same semantics (the denial requires the negation
+	// to be TRUE), so the two methods must agree on NULL-laden states.
+	holds, known, err := c.eng.EvalPredicate(check)
 	if err != nil {
 		return nil, false, err
 	}
-	return nil, !holds, nil
-}
-
-// evalBoolean evaluates a closed boolean condition (no free columns).
-func (c *Checker) evalBoolean(e sqlparser.Expr) (bool, error) {
-	switch x := e.(type) {
-	case *sqlparser.Exists:
-		found := false
-		for cur := x.Query; cur != nil && !found; cur = cur.Union {
-			res, err := c.eng.Query(&sqlparser.Select{
-				Star: cur.Star, Columns: cur.Columns, From: cur.From, Where: cur.Where,
-			})
-			if err != nil {
-				return false, err
-			}
-			found = len(res.Rows) > 0
-		}
-		return found != x.Negated, nil
-	case *sqlparser.Binary:
-		switch x.Op {
-		case sqlparser.OpAnd:
-			l, err := c.evalBoolean(x.L)
-			if err != nil || !l {
-				return false, err
-			}
-			return c.evalBoolean(x.R)
-		case sqlparser.OpOr:
-			l, err := c.evalBoolean(x.L)
-			if err != nil || l {
-				return l, err
-			}
-			return c.evalBoolean(x.R)
-		}
-	case *sqlparser.Not:
-		v, err := c.evalBoolean(x.E)
-		return !v, err
-	}
-	return false, fmt.Errorf("baseline: unsupported closed condition %T", e)
+	return nil, known && !holds, nil
 }
 
 // CheckAfter clones the database, applies the staged events to the clone and

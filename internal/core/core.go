@@ -254,6 +254,9 @@ func (t *Tool) AddAssertionAST(ca *sqlparser.CreateAssertion, sql string) (*Asse
 	if _, dup := t.asserts[name]; dup {
 		return nil, fmt.Errorf("tintin: assertion %s already exists", ca.Name)
 	}
+	if err := typeCheck(t.db, ca.Check); err != nil {
+		return nil, fmt.Errorf("tintin: assertion %s: %w", ca.Name, err)
+	}
 	info := schemaInfo{t.db}
 	tr, err := logic.Translate(name, ca.Check, info)
 	if err != nil {

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tintin/internal/engine"
+)
+
+// Explain is the JSON-serializable report for one assertion: the compiled
+// plan of every incremental view plus the engine's plan-cache counters at
+// the time of the call. Producing it is side-effect-free — Explain never
+// installs plans or moves the counters it reports.
+type Explain struct {
+	Assertion string                `json:"assertion"`
+	Denial    string                `json:"denial"`
+	Views     []*engine.ExplainPlan `json:"views"`
+	PlanCache engine.PlanCacheStats `json:"plan_cache"`
+}
+
+// Explain describes the compiled incremental plans of one assertion.
+func (t *Tool) Explain(name string) (*Explain, error) {
+	a := t.asserts[strings.ToLower(name)]
+	if a == nil {
+		return nil, fmt.Errorf("tintin: no assertion %s", name)
+	}
+	out := &Explain{
+		Assertion: a.Name,
+		Denial:    strings.TrimRight(a.Denial.String(), "\n"),
+	}
+	for _, vname := range a.Views {
+		ep, err := t.eng.ExplainView(vname)
+		if err != nil {
+			return nil, err
+		}
+		out.Views = append(out.Views, ep)
+	}
+	out.PlanCache = t.eng.PlanCacheStats()
+	return out, nil
+}

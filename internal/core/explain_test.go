@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tintin/internal/engine"
+	"tintin/internal/sqltypes"
+	"tintin/internal/storage"
+)
+
+// planTrees marshals the Views of an Explain with the Cached flag
+// normalized away, so plan structure can be compared across cache states.
+func planTrees(t *testing.T, ex *Explain) string {
+	t.Helper()
+	views := make([]engine.ExplainPlan, len(ex.Views))
+	for i, v := range ex.Views {
+		views[i] = *v
+		views[i].Cached = false
+	}
+	js, err := json.Marshal(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(js)
+}
+
+// TestExplainStableAcrossCacheCycle drives one view through the full plan
+// cache cycle — resident, invalidated by a schema change, re-prepared by the
+// next commit check — and requires (a) the described plan tree to be
+// identical in every state, and (b) Explain itself to never move the cache
+// counters it reports.
+func TestExplainStableAcrossCacheCycle(t *testing.T) {
+	db := storage.NewDB("ex")
+	eng := engine.New(db)
+	if _, err := eng.ExecSQL(`CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, o_totalprice REAL);
+CREATE TABLE lineitem (l_orderkey INTEGER NOT NULL, l_linenumber INTEGER NOT NULL, PRIMARY KEY (l_orderkey, l_linenumber));`); err != nil {
+		t.Fatal(err)
+	}
+	tool := New(db, DefaultOptions())
+	if err := tool.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tool.AddAssertion(`CREATE ASSERTION everyOrderHasLines CHECK (NOT EXISTS (
+		SELECT * FROM orders AS o WHERE NOT EXISTS (
+			SELECT * FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey)))`); err != nil {
+		t.Fatal(err)
+	}
+
+	// State 1: AddAssertion prepared the views eagerly, so they are cached.
+	before := eng.PlanCacheStats()
+	ex1, err := tool.Explain("everyOrderHasLines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.PlanCacheStats() != before {
+		t.Fatalf("Explain moved the cache counters: %+v -> %+v", before, eng.PlanCacheStats())
+	}
+	for _, v := range ex1.Views {
+		if !v.Cached {
+			t.Fatalf("view %s not cached after AddAssertion", v.View)
+		}
+	}
+	tree1 := planTrees(t, ex1)
+
+	// State 2: a schema change invalidates every cached plan; Explain must
+	// compile a throwaway plan, report cached=false, and describe the same
+	// tree without installing anything.
+	if _, err := eng.ExecSQL(`CREATE TABLE unrelated (x INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	before = eng.PlanCacheStats()
+	ex2, err := tool.Explain("everyOrderHasLines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.PlanCacheStats() != before {
+		t.Fatalf("Explain moved the cache counters: %+v -> %+v", before, eng.PlanCacheStats())
+	}
+	for _, v := range ex2.Views {
+		if v.Cached {
+			t.Fatalf("view %s still reported cached after schema change", v.View)
+		}
+	}
+	if tree2 := planTrees(t, ex2); tree2 != tree1 {
+		t.Fatalf("plan tree changed across invalidation:\nbefore: %s\nafter:  %s", tree1, tree2)
+	}
+
+	// State 3: a commit check re-prepares the views (cache misses), after
+	// which Explain reports them cached again — same tree.
+	if err := db.Insert("orders", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewFloat(10.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("lineitem", sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := tool.SafeCommit(); err != nil || !res.Committed {
+		t.Fatalf("safeCommit: %v %+v", err, res)
+	}
+	ex3, err := tool.Explain("everyOrderHasLines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SkipEmptyEventViews means only views whose trigger event tables were
+	// non-empty got re-prepared; the insert-driven view must be among them.
+	anyCached := false
+	for _, v := range ex3.Views {
+		anyCached = anyCached || v.Cached
+	}
+	if !anyCached {
+		t.Fatal("no view cached after safeCommit")
+	}
+	if tree3 := planTrees(t, ex3); tree3 != tree1 {
+		t.Fatalf("plan tree changed across re-preparation:\nbefore: %s\nafter:  %s", tree1, tree3)
+	}
+	// A second commit over the same trigger tables reuses the re-prepared
+	// plans: the counters must now show both misses and hits.
+	if err := db.Insert("orders", sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewFloat(7.25)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("lineitem", sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := tool.SafeCommit(); err != nil || !res.Committed {
+		t.Fatalf("second safeCommit: %v %+v", err, res)
+	}
+	ex4, err := tool.Explain("everyOrderHasLines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree4 := planTrees(t, ex4); tree4 != tree1 {
+		t.Fatalf("plan tree changed across cache hit:\nbefore: %s\nafter:  %s", tree1, tree4)
+	}
+	if ex4.PlanCache.Misses == 0 || ex4.PlanCache.Hits == 0 {
+		t.Fatalf("expected both misses and hits in the cycle, got %+v", ex4.PlanCache)
+	}
+}
+
+// TestExplainUnknownAssertion covers the error path.
+func TestExplainUnknownAssertion(t *testing.T) {
+	db := storage.NewDB("ex")
+	tool := New(db, DefaultOptions())
+	if _, err := tool.Explain("nope"); err == nil {
+		t.Fatal("expected error for unknown assertion")
+	}
+}

@@ -1,0 +1,13 @@
+package difftest
+
+import "testing"
+
+// TestAttributionSweep runs the multi-session group-commit oracle over a
+// battery of generated streams (see RunAttribution for the invariants).
+func TestAttributionSweep(t *testing.T) {
+	for seed := 0; seed < 80; seed++ {
+		if err := RunAttribution(lcgBytes(seed+500, 64)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

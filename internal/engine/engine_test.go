@@ -57,7 +57,7 @@ func queryStrings(t *testing.T, eng *Engine, q string) []string {
 func TestSelectAll(t *testing.T) {
 	_, eng := newTestDB(t)
 	got := queryStrings(t, eng, "SELECT * FROM orders")
-	want := []string{"(1, 10.5)", "(2, 20)", "(3, 7.25)"}
+	want := []string{"(1, 10.5)", "(2, 20.0)", "(3, 7.25)"}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Errorf("got %v want %v", got, want)
 	}
@@ -224,7 +224,7 @@ func TestNullSemantics(t *testing.T) {
 func TestArithmetic(t *testing.T) {
 	_, eng := newTestDB(t)
 	got := queryStrings(t, eng, "SELECT o_orderkey + 10, o_totalprice * 2 FROM orders WHERE o_orderkey = 1")
-	want := []string{"(11, 21)"}
+	want := []string{"(11, 21.0)"}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Errorf("got %v want %v", got, want)
 	}

@@ -310,9 +310,10 @@ func (ex *exec) evalInSubquery(x *sqlparser.InSubquery) (truth, error) {
 	if err != nil {
 		return truthUnknown, err
 	}
-	if v.IsNull() {
-		return truthUnknown, nil
-	}
+	// A NULL operand does NOT short-circuit to unknown: IN is "= ANY", and
+	// ANY over an empty result is FALSE no matter what the operand is, so
+	// NULL IN (empty) is FALSE and NULL NOT IN (empty) is TRUE. Only a
+	// non-empty result makes the membership test unknown.
 	if set, ok := ex.inMemo[x]; ok {
 		return inVerdict(set, v, x.Negated), nil
 	}
@@ -361,6 +362,22 @@ func (ex *exec) evalInSubquery(x *sqlparser.InSubquery) (truth, error) {
 
 	// Correlated: scan with early exit, reusing the cached plans and each
 	// branch's reusable membership sink (this probe runs per outer row).
+	if v.IsNull() {
+		// Only emptiness matters for a NULL operand; probe for any row.
+		any := false
+		for _, sub := range branches {
+			if err := sub.run(func(sqltypes.Row) (bool, error) {
+				any = true
+				return false, nil
+			}); err != nil {
+				return truthUnknown, err
+			}
+			if any {
+				return truthUnknown, nil
+			}
+		}
+		return boolTruth(x.Negated), nil
+	}
 	found := false
 	sawNull := false
 	for _, sub := range branches {
@@ -387,6 +404,14 @@ func (ex *exec) evalInSubquery(x *sqlparser.InSubquery) (truth, error) {
 }
 
 func inVerdict(set *inSet, v sqltypes.Value, negated bool) truth {
+	if v.IsNull() {
+		// NULL IN (empty) is FALSE, not unknown: IN is "= ANY" and ANY
+		// over no rows is FALSE regardless of the operand.
+		if len(set.vals) == 0 && !set.sawNull {
+			return boolTruth(negated)
+		}
+		return truthUnknown
+	}
 	if set.vals[string(v.EncodeKey(nil))] {
 		return boolTruth(!negated)
 	}

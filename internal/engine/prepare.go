@@ -41,15 +41,15 @@ type PreparedQuery struct {
 type PlanCacheStats struct {
 	// Hits is the number of view executions served by a reusable compiled
 	// plan.
-	Hits int
+	Hits int `json:"hits"`
 	// Misses counts plan compilations (first use of a view).
-	Misses int
+	Misses int `json:"misses"`
 	// Invalidations counts cached plans discarded because the schema
 	// changed, the view was redefined, or the probe setting flipped.
-	Invalidations int
+	Invalidations int `json:"invalidations"`
 	// Fallbacks counts executions of non-cacheable views (queries reading
 	// other views), which re-plan every time despite the cache entry.
-	Fallbacks int
+	Fallbacks int `json:"fallbacks"`
 }
 
 // PlanCacheStats returns the engine's plan-cache counters.

@@ -112,6 +112,18 @@ func (e *Engine) EvalConst(expr sqlparser.Expr) (sqltypes.Value, error) {
 	return ex.evalValue(expr)
 }
 
+// EvalPredicate evaluates a closed boolean condition — no free column
+// references, subqueries allowed — under SQL three-valued logic. known is
+// false when the condition evaluates to UNKNOWN (holds is then false).
+func (e *Engine) EvalPredicate(expr sqlparser.Expr) (holds, known bool, err error) {
+	ex := &exec{eng: e, scope: &scope{}}
+	t, err := ex.evalBool(expr)
+	if err != nil {
+		return false, false, err
+	}
+	return t == truthTrue, t != truthUnknown, nil
+}
+
 func (e *Engine) execInsert(ins *sqlparser.Insert) (int, error) {
 	t := e.db.Table(ins.Table)
 	if t == nil {

@@ -133,7 +133,11 @@ func (t *translator) dnf(e sqlparser.Expr, neg bool) ([][]sqlparser.Expr, error)
 		}
 		if x.Op.IsComparison() {
 			if neg {
-				return [][]sqlparser.Expr{{&sqlparser.Binary{Op: x.Op.Negate(), L: x.L, R: x.R}}}, nil
+				nop, ok := x.Op.Negate()
+				if !ok {
+					return nil, fmt.Errorf("operator %s is not a condition", x.Op)
+				}
+				return [][]sqlparser.Expr{{&sqlparser.Binary{Op: nop, L: x.L, R: x.R}}}, nil
 			}
 			return [][]sqlparser.Expr{{x}}, nil
 		}
@@ -141,7 +145,39 @@ func (t *translator) dnf(e sqlparser.Expr, neg bool) ([][]sqlparser.Expr, error)
 	case *sqlparser.Exists:
 		return [][]sqlparser.Expr{{&sqlparser.Exists{Negated: x.Negated != neg, Query: x.Query}}}, nil
 	case *sqlparser.InSubquery:
-		return [][]sqlparser.Expr{{&sqlparser.InSubquery{Negated: x.Negated != neg, E: x.E, Query: x.Query}}}, nil
+		if x.Negated != neg {
+			// The violation condition contains x NOT IN (SELECT p FROM ...).
+			// Under SQL three-valued logic this is TRUE — not merely
+			// non-false — in exactly two situations:
+			//
+			//  (a) x is non-NULL and the subquery yields neither a matching
+			//      value nor any NULL (a NULL p makes the test unknown);
+			//  (b) the subquery yields no rows at all, in which case even a
+			//      NULL x is NOT IN the empty set (IN over an empty set is
+			//      FALSE, not unknown).
+			//
+			// The bare anti-join the NOT IN translation produces is
+			// null-blind, so spell both disjuncts out. The NULL-probe
+			// subquery keeps the original FROM/WHERE and additionally
+			// demands p IS NULL; case (b) reuses the whole subquery under
+			// NOT EXISTS. For a NOT NULL x the second disjunct simply
+			// never fires at run time.
+			nullProbe, err := inNullProbe(x.Query)
+			if err != nil {
+				return nil, err
+			}
+			nonNullCase := []sqlparser.Expr{
+				&sqlparser.IsNull{Negated: true, E: x.E},
+				&sqlparser.InSubquery{Negated: true, E: x.E, Query: x.Query},
+				&sqlparser.Exists{Negated: true, Query: nullProbe},
+			}
+			emptyCase := []sqlparser.Expr{
+				&sqlparser.IsNull{E: x.E},
+				&sqlparser.Exists{Negated: true, Query: x.Query},
+			}
+			return [][]sqlparser.Expr{nonNullCase, emptyCase}, nil
+		}
+		return [][]sqlparser.Expr{{&sqlparser.InSubquery{E: x.E, Query: x.Query}}}, nil
 	case *sqlparser.IsNull:
 		return [][]sqlparser.Expr{{&sqlparser.IsNull{Negated: x.Negated != neg, E: x.E}}}, nil
 	case *sqlparser.InList:
@@ -439,6 +475,36 @@ func (t *translator) translateSelect(q *sqlparser.Select, parent *scope,
 		}
 	}
 	return out, locals, nil
+}
+
+// inNullProbe builds, for every UNION branch of a NOT IN subquery, a copy
+// whose WHERE additionally requires the projected column to be NULL: the
+// existence of such a row makes the NOT IN test unknown instead of true, so
+// the violation condition carries NOT EXISTS of this probe as a conjunct.
+func inNullProbe(q *sqlparser.Select) (*sqlparser.Select, error) {
+	var head, tail *sqlparser.Select
+	for branch := q; branch != nil; branch = branch.Union {
+		if branch.Star || len(branch.Columns) != 1 {
+			return nil, fmt.Errorf("IN subquery must project exactly one column")
+		}
+		p := branch.Columns[0].Expr
+		clone := &sqlparser.Select{
+			Columns: branch.Columns,
+			From:    branch.From,
+			Where: sqlparser.AndAll([]sqlparser.Expr{
+				branch.Where,
+				&sqlparser.IsNull{E: p},
+			}),
+			UnionAll: branch.UnionAll,
+		}
+		if head == nil {
+			head = clone
+		} else {
+			tail.Union = clone
+		}
+		tail = clone
+	}
+	return head, nil
 }
 
 // resolveTerm resolves a scalar expression to a term (column or constant).

@@ -112,7 +112,11 @@ func TestNotInBecomesNegatedLiteral(t *testing.T) {
 		SELECT * FROM lineitem AS l
 		WHERE l.l_orderkey NOT IN (SELECT o.o_orderkey FROM orders AS o))`)
 	d := tr.Denials[0]
-	if len(d.Body.Lits) != 2 {
+	// SQL three-valued logic: a violating lineitem needs a non-NULL
+	// l_orderkey, no matching order, and no NULL o_orderkey anywhere
+	// (a NULL in the subquery makes NOT IN unknown, which satisfies the
+	// check). Hence three literals plus an IS NOT NULL guard.
+	if len(d.Body.Lits) != 3 {
 		t.Fatalf("lits = %d: %s", len(d.Body.Lits), d)
 	}
 	neg := d.Body.Lits[1]
@@ -121,6 +125,18 @@ func TestNotInBecomesNegatedLiteral(t *testing.T) {
 	}
 	if !SameTerm(neg.Atom.Args[0], d.Body.Lits[0].Atom.Args[0]) {
 		t.Errorf("NOT IN correlation lost: %s", d)
+	}
+	if probe := d.Body.Lits[2]; !probe.Neg {
+		t.Errorf("want negated null-probe literal, got %s", probe)
+	}
+	hasGuard := false
+	for _, b := range d.Body.Builtins {
+		if b.Op == CmpIsNotNull && SameTerm(b.L, d.Body.Lits[0].Atom.Args[0]) {
+			hasGuard = true
+		}
+	}
+	if !hasGuard {
+		t.Errorf("missing IS NOT NULL guard on the NOT IN operand: %s", d)
 	}
 }
 

@@ -219,6 +219,13 @@ func (g *Generator) negatedExprs(a logic.Atom, bind bindings) ([]sqlparser.Expr,
 
 // negatedBaseSelect builds the subquery of NOT EXISTS for a base/event atom:
 // conditions for constants and bound variables; local variables are free.
+//
+// Negated del atoms always come from the new-state subtraction T ∧ ¬δT over
+// the same variable tuple — a row-identity match, not a SQL join. A deleted
+// (1, NULL) row must match itself even though NULL = NULL is UNKNOWN, so
+// their variable matches are NULL-safe. Negated ins atoms (¬p ∧ ¬ιp) bind
+// user-join variables, where SQL NULL-failing equality is the required
+// semantics.
 func (g *Generator) negatedBaseSelect(a logic.Atom, bind bindings) (*sqlparser.Select, error) {
 	tbl, err := tableName(a)
 	if err != nil {
@@ -230,6 +237,17 @@ func (g *Generator) negatedBaseSelect(a logic.Atom, bind bindings) (*sqlparser.S
 	}
 	alias := g.freshAlias()
 	sel := &sqlparser.Select{Star: true, From: []sqlparser.TableRef{{Table: tbl, Alias: alias}}}
+	rowIdent := a.Kind == logic.PredDel
+	match := func(ref *sqlparser.ColumnRef, prev sqlparser.Expr) sqlparser.Expr {
+		eq := sqlparser.Expr(&sqlparser.Binary{Op: sqlparser.OpEq, L: ref, R: prev})
+		if rowIdent {
+			eq = &sqlparser.Binary{Op: sqlparser.OpOr, L: eq,
+				R: &sqlparser.Binary{Op: sqlparser.OpAnd,
+					L: &sqlparser.IsNull{E: ref},
+					R: &sqlparser.IsNull{E: prev}}}
+		}
+		return eq
+	}
 	var conj []sqlparser.Expr
 	local := bindings{}
 	for i, arg := range a.Args {
@@ -239,10 +257,10 @@ func (g *Generator) negatedBaseSelect(a logic.Atom, bind bindings) (*sqlparser.S
 			conj = append(conj, &sqlparser.Binary{Op: sqlparser.OpEq, L: ref, R: &sqlparser.Literal{Value: arg.Const}})
 		default:
 			if prev, bound := bind[arg.Name]; bound {
-				conj = append(conj, &sqlparser.Binary{Op: sqlparser.OpEq, L: ref, R: prev})
+				conj = append(conj, match(ref, prev))
 			} else if prev, bound := local[arg.Name]; bound {
 				// Repeated local variable within the negated atom.
-				conj = append(conj, &sqlparser.Binary{Op: sqlparser.OpEq, L: ref, R: prev})
+				conj = append(conj, match(ref, prev))
 			} else {
 				local[arg.Name] = ref
 			}

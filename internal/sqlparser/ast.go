@@ -178,24 +178,25 @@ func (op BinaryOp) String() string {
 // IsComparison reports whether op is a comparison operator.
 func (op BinaryOp) IsComparison() bool { return op >= OpEq && op <= OpGe }
 
-// Negate returns the complementary comparison (=/<>, </>=, ...).
-// It panics for non-comparison operators.
-func (op BinaryOp) Negate() BinaryOp {
+// Negate returns the complementary comparison (=/<>, </>=, ...) and true,
+// or the operator unchanged and false when it is not a comparison (callers
+// must check ok instead of relying on a panic).
+func (op BinaryOp) Negate() (neg BinaryOp, ok bool) {
 	switch op {
 	case OpEq:
-		return OpNe
+		return OpNe, true
 	case OpNe:
-		return OpEq
+		return OpEq, true
 	case OpLt:
-		return OpGe
+		return OpGe, true
 	case OpLe:
-		return OpGt
+		return OpGt, true
 	case OpGt:
-		return OpLe
+		return OpLe, true
 	case OpGe:
-		return OpLt
+		return OpLt, true
 	}
-	panic("sqlparser: Negate on non-comparison " + op.String())
+	return op, false
 }
 
 // Binary is a binary expression.

@@ -9,7 +9,6 @@ package sqlparser
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // TokenKind classifies lexical tokens.
@@ -111,12 +110,17 @@ func (l *Lexer) skipSpaceAndComments() error {
 	return nil
 }
 
+// Bare identifiers are ASCII-only. Accepting high bytes via
+// unicode.IsLetter(rune(c)) would treat a byte-wise Latin-1 letter as an
+// identifier character, but strings.ToLower then rewrites the invalid
+// UTF-8 to U+FFFD and the result no longer lexes — names the lexer
+// produced must always re-lex. Anything else goes in double quotes.
 func isIdentStart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c))
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 }
 
 func isIdentPart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+	return isIdentStart(c) || (c >= '0' && c <= '9')
 }
 
 // Next returns the next token.
@@ -198,20 +202,33 @@ func (l *Lexer) Next() (Token, error) {
 		return Token{Kind: TokString, Text: sb.String(), Orig: sb.String(), Pos: start, Line: line}, nil
 
 	case c == '"':
-		// Double-quoted identifier.
+		// Double-quoted identifier; a doubled "" inside is a literal quote.
 		l.pos++
-		s := l.pos
-		for l.pos < len(l.src) && l.src[l.pos] != '"' {
-			if l.src[l.pos] == '\n' {
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errorf("unterminated quoted identifier")
+			}
+			ch := l.src[l.pos]
+			if ch == '"' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+					sb.WriteByte('"')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			if ch == '\n' {
 				l.line++
 			}
+			sb.WriteByte(ch)
 			l.pos++
 		}
-		if l.pos >= len(l.src) {
-			return Token{}, l.errorf("unterminated quoted identifier")
+		name := sb.String()
+		if name == "" {
+			return Token{}, l.errorf("empty quoted identifier")
 		}
-		name := l.src[s:l.pos]
-		l.pos++
 		return Token{Kind: TokIdent, Text: strings.ToLower(name), Orig: name, Pos: start, Line: line}, nil
 
 	case c == '<':

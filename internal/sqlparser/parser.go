@@ -2,6 +2,7 @@ package sqlparser
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -773,6 +774,16 @@ func (p *Parser) parseMultiplicative() (Expr, error) {
 
 func (p *Parser) parseUnary() (Expr, error) {
 	if p.acceptSymbol("-") {
+		// Fold the sign into an immediately following numeric literal before
+		// parsing its digits, so -9223372036854775808 (int64 min, whose
+		// magnitude alone overflows) parses as the literal it is.
+		if t := p.peek(); t.Kind == TokInt || t.Kind == TokFloat {
+			lit, err := p.parseNumericLiteral(true)
+			if err != nil {
+				return nil, err
+			}
+			return lit, nil
+		}
 		e, err := p.parseUnary()
 		if err != nil {
 			return nil, err
@@ -780,7 +791,11 @@ func (p *Parser) parseUnary() (Expr, error) {
 		if lit, ok := e.(*Literal); ok {
 			switch lit.Value.Kind() {
 			case sqltypes.KindInt:
-				return &Literal{Value: sqltypes.NewInt(-lit.Value.Int())}, nil
+				i := lit.Value.Int()
+				if i == math.MinInt64 {
+					return nil, p.errorf("integer literal %d cannot be negated", i)
+				}
+				return &Literal{Value: sqltypes.NewInt(-i)}, nil
 			case sqltypes.KindFloat:
 				return &Literal{Value: sqltypes.NewFloat(-lit.Value.Float())}, nil
 			}
@@ -789,6 +804,35 @@ func (p *Parser) parseUnary() (Expr, error) {
 	}
 	p.acceptSymbol("+")
 	return p.parsePrimary()
+}
+
+// parseNumericLiteral consumes the current INT/FLOAT token, applying an
+// optional leading minus sign. Out-of-range literals are reported at the
+// literal's own position.
+func (p *Parser) parseNumericLiteral(negated bool) (*Literal, error) {
+	t := p.next()
+	text := t.Text
+	if negated {
+		text = "-" + text
+	}
+	if t.Kind == TokInt {
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{
+				Msg:  fmt.Sprintf("integer literal %s does not fit in 64 bits", text),
+				Pos:  t.Pos, Line: t.Line,
+			}
+		}
+		return &Literal{Value: sqltypes.NewInt(v)}, nil
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return nil, &SyntaxError{
+			Msg:  fmt.Sprintf("numeric literal %s is out of range", text),
+			Pos:  t.Pos, Line: t.Line,
+		}
+	}
+	return &Literal{Value: sqltypes.NewFloat(v)}, nil
 }
 
 func (p *Parser) parseSubquery() (*Select, error) {
@@ -808,20 +852,8 @@ func (p *Parser) parseSubquery() (*Select, error) {
 func (p *Parser) parsePrimary() (Expr, error) {
 	t := p.peek()
 	switch t.Kind {
-	case TokInt:
-		p.pos++
-		v, err := strconv.ParseInt(t.Text, 10, 64)
-		if err != nil {
-			return nil, p.errorf("bad integer literal %q", t.Text)
-		}
-		return &Literal{Value: sqltypes.NewInt(v)}, nil
-	case TokFloat:
-		p.pos++
-		v, err := strconv.ParseFloat(t.Text, 64)
-		if err != nil {
-			return nil, p.errorf("bad numeric literal %q", t.Text)
-		}
-		return &Literal{Value: sqltypes.NewFloat(v)}, nil
+	case TokInt, TokFloat:
+		return p.parseNumericLiteral(false)
 	case TokString:
 		p.pos++
 		return &Literal{Value: sqltypes.NewString(t.Text)}, nil

@@ -419,16 +419,16 @@ func TestWalkExprPrune(t *testing.T) {
 }
 
 func TestBinaryOpHelpers(t *testing.T) {
-	if OpLt.Negate() != OpGe || OpEq.Negate() != OpNe {
-		t.Error("Negate")
+	if neg, ok := OpLt.Negate(); !ok || neg != OpGe {
+		t.Error("Negate OpLt")
+	}
+	if neg, ok := OpEq.Negate(); !ok || neg != OpNe {
+		t.Error("Negate OpEq")
 	}
 	if !OpLe.IsComparison() || OpAdd.IsComparison() {
 		t.Error("IsComparison")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Negate on AND must panic")
-		}
-	}()
-	OpAnd.Negate()
+	if _, ok := OpAnd.Negate(); ok {
+		t.Error("Negate on AND must report ok=false")
+	}
 }

@@ -5,6 +5,32 @@ import (
 	"strings"
 )
 
+// formatIdent renders an identifier so that it re-lexes to the same name:
+// bare when it is a plain lower-case ASCII identifier that does not collide
+// with a keyword, double-quoted (with internal quotes doubled) otherwise.
+func formatIdent(name string) string {
+	bare := name != "" && !keywords[strings.ToUpper(name)]
+	for i := 0; bare && i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			bare = false
+		}
+	}
+	if bare {
+		return name
+	}
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+func joinIdents(names []string) string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = formatIdent(n)
+	}
+	return strings.Join(out, ", ")
+}
+
 // FormatExpr renders an expression back to SQL text.
 func FormatExpr(e Expr) string {
 	var b strings.Builder
@@ -24,12 +50,12 @@ func FormatStatement(st Statement) string {
 	var b strings.Builder
 	switch x := st.(type) {
 	case *CreateTable:
-		b.WriteString("CREATE TABLE " + x.Name + " (")
+		b.WriteString("CREATE TABLE " + formatIdent(x.Name) + " (")
 		for i, c := range x.Columns {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			b.WriteString(c.Name + " " + c.Type.String())
+			b.WriteString(formatIdent(c.Name) + " " + c.Type.String())
 			if c.PrimaryKey {
 				b.WriteString(" PRIMARY KEY")
 			} else if c.NotNull {
@@ -37,24 +63,24 @@ func FormatStatement(st Statement) string {
 			}
 		}
 		if len(x.PrimaryKey) > 0 {
-			b.WriteString(", PRIMARY KEY (" + strings.Join(x.PrimaryKey, ", ") + ")")
+			b.WriteString(", PRIMARY KEY (" + joinIdents(x.PrimaryKey) + ")")
 		}
 		for _, fk := range x.ForeignKeys {
 			fmt.Fprintf(&b, ", FOREIGN KEY (%s) REFERENCES %s (%s)",
-				strings.Join(fk.Columns, ", "), fk.RefTable, strings.Join(fk.RefColumns, ", "))
+				joinIdents(fk.Columns), formatIdent(fk.RefTable), joinIdents(fk.RefColumns))
 		}
 		b.WriteString(")")
 	case *CreateView:
-		b.WriteString("CREATE VIEW " + x.Name + " AS ")
+		b.WriteString("CREATE VIEW " + formatIdent(x.Name) + " AS ")
 		writeSelect(&b, x.Select)
 	case *CreateAssertion:
-		b.WriteString("CREATE ASSERTION " + x.Name + " CHECK (")
+		b.WriteString("CREATE ASSERTION " + formatIdent(x.Name) + " CHECK (")
 		writeExpr(&b, x.Check, 0)
 		b.WriteString(")")
 	case *Insert:
-		b.WriteString("INSERT INTO " + x.Table)
+		b.WriteString("INSERT INTO " + formatIdent(x.Table))
 		if len(x.Columns) > 0 {
-			b.WriteString(" (" + strings.Join(x.Columns, ", ") + ")")
+			b.WriteString(" (" + joinIdents(x.Columns) + ")")
 		}
 		b.WriteString(" VALUES ")
 		for i, row := range x.Rows {
@@ -71,20 +97,20 @@ func FormatStatement(st Statement) string {
 			b.WriteString(")")
 		}
 	case *Delete:
-		b.WriteString("DELETE FROM " + x.Table)
+		b.WriteString("DELETE FROM " + formatIdent(x.Table))
 		if x.Alias != "" {
-			b.WriteString(" AS " + x.Alias)
+			b.WriteString(" AS " + formatIdent(x.Alias))
 		}
 		if x.Where != nil {
 			b.WriteString(" WHERE ")
 			writeExpr(&b, x.Where, 0)
 		}
 	case *DropTable:
-		b.WriteString("DROP TABLE " + x.Name)
+		b.WriteString("DROP TABLE " + formatIdent(x.Name))
 	case *DropView:
-		b.WriteString("DROP VIEW " + x.Name)
+		b.WriteString("DROP VIEW " + formatIdent(x.Name))
 	case *Call:
-		b.WriteString("CALL " + x.Name)
+		b.WriteString("CALL " + formatIdent(x.Name))
 	case *SelectStmt:
 		writeSelect(&b, x.Select)
 	default:
@@ -107,7 +133,7 @@ func writeSelect(b *strings.Builder, s *Select) {
 			}
 			writeExpr(b, it.Expr, 0)
 			if it.Alias != "" {
-				b.WriteString(" AS " + it.Alias)
+				b.WriteString(" AS " + formatIdent(it.Alias))
 			}
 		}
 	}
@@ -116,9 +142,9 @@ func writeSelect(b *strings.Builder, s *Select) {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		b.WriteString(tr.Table)
+		b.WriteString(formatIdent(tr.Table))
 		if tr.Alias != "" {
-			b.WriteString(" AS " + tr.Alias)
+			b.WriteString(" AS " + formatIdent(tr.Alias))
 		}
 	}
 	if s.Where != nil {
@@ -168,9 +194,9 @@ func writeExpr(b *strings.Builder, e Expr, parent int) {
 	switch x := e.(type) {
 	case *ColumnRef:
 		if x.Qualifier != "" {
-			b.WriteString(x.Qualifier + "." + x.Name)
+			b.WriteString(formatIdent(x.Qualifier) + "." + formatIdent(x.Name))
 		} else {
-			b.WriteString(x.Name)
+			b.WriteString(formatIdent(x.Name))
 		}
 	case *Literal:
 		b.WriteString(x.Value.String())

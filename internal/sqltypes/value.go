@@ -121,7 +121,14 @@ func (v Value) String() string {
 	case KindInt:
 		return strconv.FormatInt(v.i, 10)
 	case KindFloat:
-		return strconv.FormatFloat(v.f, 'g', -1, 64)
+		s := strconv.FormatFloat(v.f, 'g', -1, 64)
+		// An integral REAL would otherwise render indistinguishably from an
+		// INTEGER literal and flip kind on a parse round-trip; force a
+		// decimal point. Inf/NaN (no SQL literal syntax) are left as-is.
+		if !strings.ContainsAny(s, ".eEnN") {
+			s += ".0"
+		}
+		return s
 	case KindString:
 		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
 	case KindBool:
