@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet test-race fuzz bench bench-safecommit bench-parallel e1
+.PHONY: check build test vet test-race fuzz bench bench-safecommit bench-parallel bench-obs e1
 
 ## check: the tier-1 gate — vet, build, and test everything.
 check: vet build test
@@ -16,11 +16,13 @@ test:
 
 ## test-race: the experiment harness (and everything else) under the race
 ## detector; slower, catches engine/state sharing mistakes. Includes the
-## parallel commit-check scheduler's concurrent-safeCommit tests and the
+## parallel commit-check scheduler's concurrent-safeCommit tests, the
 ## intra-view partitioned-check tests (partition parity + concurrent
-## partitioned commits).
+## partitioned commits), and the observability tests (registry/tracer
+## primitives plus concurrent group commits against Stats()/trace-ring
+## readers).
 test-race:
-	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/ ./internal/sched/
+	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/ ./internal/sched/ ./internal/obs/
 
 ## fuzz: budgeted smoke run of the fuzz targets — the differential oracle
 ## (incremental vs baseline verdicts across all commit-check modes), the
@@ -48,6 +50,13 @@ bench-safecommit:
 ## mode) — tracked in BENCH_safecommit.json.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkSafeCommitParallel' -benchmem .
+
+## bench-obs: the observability overhead guard — the hot-path safeCommit
+## benchmark uninstrumented vs with the metrics registry wired; must stay
+## within noise and +0 allocs (tracked under "observability" in
+## BENCH_safecommit.json).
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkSafeCommit$$|BenchmarkSafeCommitMetrics$$' -benchmem -count 5 .
 
 ## e1: print the headline experiment grid at test scale.
 e1:

@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	tintin [-tpch n] [-script file]
+//	tintin [-tpch n] [-script file] [-workers n] [-split dur] [-trace] [-trace-slow dur]
 //
 // With -tpch n, a TPC-H database with n*1000 orders is pre-loaded.
-// Statements are read from the script file (or stdin), separated by
-// semicolons. Besides SQL, the shell accepts meta commands:
+// -workers enables the parallel commit-check scheduler; -split sets its
+// intra-view split threshold. -trace records a span tree per safeCommit
+// (readable via \trace); -trace-slow additionally promotes traces slower
+// than the given duration to a JSON line on stderr. Statements are read
+// from the script file (or stdin), separated by semicolons. Besides SQL,
+// the shell accepts meta commands:
 //
 //	\install             create event tables and enable capture
 //	\assertions          list compiled assertions
@@ -17,9 +21,13 @@
 //	\edcs NAME           show the EDCs (and discarded ones) of an assertion
 //	\views NAME          show the generated incremental SQL views
 //	\explain NAME        show the compiled plans of an assertion as JSON
-//	\stats               show compilation statistics
+//	\stats [scrub]       compilation statistics plus runtime metrics
+//	\trace [scrub]       show the last safeCommit's span tree
 //	\tables              list tables with row counts
 //	\quit                exit
+//
+// "scrub" replaces nondeterministic values (durations, worker ids) with
+// "_" so scripted output is byte-stable — the mode the golden tests use.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 
 	"tintin/internal/core"
 	"tintin/internal/engine"
+	"tintin/internal/obs"
 	"tintin/internal/sqlparser"
 	"tintin/internal/storage"
 	"tintin/internal/tpch"
@@ -50,6 +59,10 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	script := fs.String("script", "", "SQL script to execute (default: stdin)")
 	tpchOrders := fs.Int("tpch", 0, "pre-load a TPC-H database with n*1000 orders")
 	seed := fs.Int64("seed", 42, "data generator seed")
+	workers := fs.Int("workers", 0, "commit-check worker count (0/1 = serial)")
+	split := fs.Duration("split", 0, "intra-view split threshold (0 = auto, <0 = off)")
+	trace := fs.Bool("trace", false, "record a span tree per safeCommit (see \\trace)")
+	traceSlow := fs.Duration("trace-slow", 0, "promote traces slower than this to stderr (implies -trace)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,7 +79,15 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	} else {
 		db = storage.NewDB("db")
 	}
-	tool := core.New(db, core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.Workers = *workers
+	opts.SplitThreshold = *split
+	// The shell always carries a metrics registry so \stats has a runtime
+	// section; tracing stays opt-in (span recording is per-commit work).
+	opts.Metrics = obs.NewRegistry()
+	opts.Trace = *trace || *traceSlow > 0
+	opts.SlowTrace = *traceSlow
+	tool := core.New(db, opts)
 
 	var in io.Reader = stdin
 	if *script != "" {
@@ -230,6 +251,18 @@ func meta(tool *core.Tool, cmd string, out io.Writer) error {
 		s := tool.Stats()
 		fmt.Fprintf(out, "assertions=%d edcs=%d discarded=%d views=%d event_tables=%d\n",
 			s.Assertions, s.EDCs, s.Discarded, s.Views, len(s.EventTables))
+		if s.Runtime != nil {
+			renderRuntime(s.Runtime, scrubArg(fields), out)
+		}
+		return nil
+
+	case "\\trace":
+		tr := tool.LastTrace()
+		if tr == nil {
+			fmt.Fprintln(out, "no trace recorded (run with -trace and commit something)")
+			return nil
+		}
+		renderTrace(tr, scrubArg(fields), out)
 		return nil
 
 	case "\\tables":

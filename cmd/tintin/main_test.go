@@ -146,3 +146,57 @@ func TestExplainGolden(t *testing.T) {
 		t.Fatalf("\\explain output drifted from %s (set UPDATE_GOLDEN=1 to regenerate)\n--- got ---\n%s", golden, out)
 	}
 }
+
+const obsScript = `
+CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, o_totalprice REAL);
+CREATE TABLE lineitem (
+  l_orderkey INTEGER NOT NULL,
+  l_linenumber INTEGER NOT NULL,
+  PRIMARY KEY (l_orderkey, l_linenumber)
+);
+INSERT INTO orders VALUES (1, 10.5);
+INSERT INTO lineitem VALUES (1, 1);
+\install
+CREATE ASSERTION everyOrderHasLines CHECK(
+  NOT EXISTS(
+    SELECT * FROM orders AS o
+    WHERE NOT EXISTS (
+      SELECT * FROM lineitem AS l
+      WHERE l.l_orderkey = o.o_orderkey)));
+INSERT INTO orders VALUES (2, 20.0);
+INSERT INTO lineitem VALUES (2, 1);
+CALL safeCommit;
+\trace scrub
+INSERT INTO orders VALUES (3, 30.0);
+INSERT INTO orders VALUES (4, 40.0);
+INSERT INTO lineitem VALUES (3, 1);
+INSERT INTO lineitem VALUES (4, 1);
+CALL safeCommit;
+\trace scrub
+\stats scrub
+\quit
+`
+
+// TestStatsTraceGolden pins the \stats and \trace scrub output byte for
+// byte: with -workers 2 and a 1ns split threshold, the second safeCommit —
+// slow by the -trace-slow 1ns standard, so it is also promoted to the slow
+// log — must show the complete span tree (freeze, per-partition task spans
+// with split bounds and scrubbed worker ids, merge, apply), and \stats must
+// list the full metric catalog with deterministic counts. Regenerate with
+// UPDATE_GOLDEN=1.
+func TestStatsTraceGolden(t *testing.T) {
+	out := runShell(t, obsScript, "-workers", "2", "-split", "1ns", "-trace-slow", "1ns")
+	const golden = "testdata/obs.golden"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Fatalf("\\stats/\\trace output drifted from %s (set UPDATE_GOLDEN=1 to regenerate)\n--- got ---\n%s", golden, out)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tintin/internal/obs"
+)
+
+// scrubArg interprets the optional "scrub" argument of \stats and \trace:
+// scrub mode replaces every nondeterministic value — durations, anything
+// nanosecond-valued, worker ids — with "_", so the full structure can be
+// golden-tested byte for byte while real runs show real numbers.
+func scrubArg(fields []string) bool {
+	return len(fields) > 1 && fields[1] == "scrub"
+}
+
+// nsValued reports whether a metric name carries nanoseconds (and thus
+// scrubs): the naming convention puts "_ns" in every duration metric.
+func nsValued(name string) bool { return strings.Contains(name, "_ns") }
+
+func scrubbed(name string, v int64, scrub bool) string {
+	if scrub && nsValued(name) {
+		return "_"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// renderRuntime prints a registry snapshot in sorted sections, one metric
+// per line — the \stats runtime body.
+func renderRuntime(s *obs.Snapshot, scrub bool, out io.Writer) {
+	section := func(title string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(out, "%s:\n", title)
+		for _, n := range names {
+			fmt.Fprintf(out, "  %s %s\n", n, scrubbed(n, m[n], scrub))
+		}
+	}
+	section("counters", s.Counters)
+	section("gauges", s.Gauges)
+	if len(s.Histograms) == 0 {
+		return
+	}
+	names := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(out, "histograms:")
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(out, "  %s count=%d sum=%s p50=%s p90=%s p99=%s\n", n, h.Count,
+			scrubbed(n, h.Sum, scrub), scrubbed(n, h.P50, scrub),
+			scrubbed(n, h.P90, scrub), scrubbed(n, h.P99, scrub))
+	}
+}
+
+// renderTrace prints one recorded commit trace as an indented span tree,
+// attrs inline, duration parenthesized.
+func renderTrace(tr *obs.TraceSnapshot, scrub bool, out io.Writer) {
+	dur := fmt.Sprintf("%dns", int64(tr.Duration))
+	if scrub {
+		dur = "_"
+	}
+	fmt.Fprintf(out, "trace %d (%s)\n", tr.ID, dur)
+	renderSpan(tr.Root, 1, scrub, out)
+}
+
+func renderSpan(sp obs.SpanSnapshot, depth int, scrub bool, out io.Writer) {
+	fmt.Fprint(out, strings.Repeat("  ", depth), sp.Name)
+	for _, a := range sp.Attrs {
+		v := a.Value()
+		if scrub && a.Key == "worker" {
+			v = "_"
+		}
+		fmt.Fprintf(out, " %s=%s", a.Key, v)
+	}
+	dur := fmt.Sprintf("%dns", int64(sp.Duration))
+	if scrub {
+		dur = "_"
+	}
+	fmt.Fprintf(out, " (%s)\n", dur)
+	for _, c := range sp.Children {
+		renderSpan(c, depth+1, scrub, out)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tintinbench [-exp e1|e2|e3|e4|all] [-orders-per-gb n] [-gbs 1,2,3,4,5] [-mbs 1,5] [-quick] [-workers n] [-perview]
+//	tintinbench [-exp e1|e2|e3|e4|all] [-orders-per-gb n] [-gbs 1,2,3,4,5] [-mbs 1,5] [-quick] [-workers n] [-perview] [-metrics] [-trace-slow dur]
 //
 // -workers > 1 runs every safeCommit check through the parallel
 // commit-check scheduler (internal/sched) with that many workers; results
@@ -14,6 +14,12 @@
 // -perview skips the experiments and prints the per-view check-duration
 // skew table instead: which incremental views dominate a check, visible
 // without a profiler — the views the intra-view splitter partitions.
+//
+// -metrics dumps the full metrics registry in Prometheus text format after
+// the run — every experiment tool publishes into one shared registry, the
+// same catalog cmd/tintin's \stats shows. -trace-slow enables commit
+// tracing and promotes any safeCommit slower than the given duration to a
+// JSON span tree on stderr, pointing at the grid cells that misbehave.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"strings"
 
 	"tintin/internal/harness"
+	"tintin/internal/obs"
 )
 
 func main() {
@@ -43,6 +50,8 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "small configuration for a fast smoke run")
 	workers := fs.Int("workers", 1, "parallel commit-check workers (1 = serial; >1 fans the per-assertion checks across a worker pool)")
 	perview := fs.Bool("perview", false, "print the per-view check-duration skew table instead of the experiments (which views dominate, what the splitter partitions)")
+	metrics := fs.Bool("metrics", false, "dump the metrics registry (Prometheus text format) after the run")
+	traceSlow := fs.Duration("trace-slow", 0, "trace commits and promote those slower than this to a JSON span tree on stderr (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +68,17 @@ func run(args []string) error {
 		cfg = harness.QuickConfig()
 	}
 	cfg.Workers = *workers
+	cfg.SlowTrace = *traceSlow
+	if *metrics {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	dumpMetrics := func() error {
+		if cfg.Metrics == nil {
+			return nil
+		}
+		fmt.Println("metrics (Prometheus text format):")
+		return cfg.Metrics.WritePrometheus(os.Stdout)
+	}
 
 	fmt.Printf("TINTIN evaluation reproduction (1GB ≡ %d orders, seed %d, %d check worker(s))\n\n",
 		cfg.OrdersPerGB, cfg.Seed, max(1, cfg.Workers))
@@ -68,7 +88,7 @@ func run(args []string) error {
 			return fmt.Errorf("perview: %w", err)
 		}
 		fmt.Println(tab.Format())
-		return nil
+		return dumpMetrics()
 	}
 	if err := harness.VerifyDetection(cfg); err != nil {
 		return fmt.Errorf("correctness gate failed: %w", err)
@@ -102,7 +122,7 @@ func run(args []string) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
-	return nil
+	return dumpMetrics()
 }
 
 func parseInts(s string) ([]int, error) {

@@ -21,7 +21,7 @@ import (
 // serving a committer, updates must go through it (a direct SafeCommit
 // would race the leader and is truncated away by the next batch anyway).
 func (t *Tool) NewCommitter(opts ...sched.CommitterOption) *sched.Committer[*CommitResult] {
-	base := []sched.CommitterOption{sched.WithKeyFn(t.conflictKeys)}
+	base := []sched.CommitterOption{sched.WithKeyFn(t.conflictKeys), sched.WithMetrics(t.committerMetrics())}
 	return sched.NewCommitter(t.commitBatch, append(base, opts...)...)
 }
 
@@ -58,6 +58,19 @@ func (t *Tool) commitBatch(batch []sched.Delta) ([]sched.Ack[*CommitResult], err
 			panic(r)
 		}
 	}()
+	// One trace per batch: the SafeCommit calls below (group pass,
+	// attribution re-checks) nest under it via t.batchSpan, so a slow batch
+	// shows its whole decomposition in a single span tree. All of this runs
+	// on the leader goroutine, which is the only writer of batchSpan.
+	trace := t.tracer.Start("commit_batch")
+	if trace != nil {
+		t.batchSpan = trace.Root()
+		t.batchSpan.SetAttrInt("deltas", int64(len(batch)))
+		defer func() {
+			t.batchSpan = nil
+			trace.Finish()
+		}()
+	}
 	acks := make([]sched.Ack[*CommitResult], len(batch))
 	if len(batch) > 1 {
 		if err := t.stageDeltas(batch); err != nil {
@@ -122,6 +135,7 @@ func (t *Tool) commitEach(batch []sched.Delta, acks []sched.Ack[*CommitResult], 
 // implicated delta's re-check sees the clean sessions' effects — the same
 // serialization the old full fallback converged to.
 func (t *Tool) resolveRejected(batch []sched.Delta, res *CommitResult, acks []sched.Ack[*CommitResult]) {
+	as := t.batchSpan.Child("attribution")
 	keys := violationKeySet(res.Violations)
 	var implicated, rest []int
 	for i := range batch {
@@ -131,12 +145,18 @@ func (t *Tool) resolveRejected(batch []sched.Delta, res *CommitResult, acks []sc
 			rest = append(rest, i)
 		}
 	}
+	as.SetAttrInt("implicated", int64(len(implicated)))
+	as.SetAttrInt("rest", int64(len(rest)))
+	as.End()
+	t.met.attribImplicated.Add(int64(len(implicated)))
 	if len(implicated) == 0 || len(rest) == 0 {
 		// Attribution told us nothing (matched nobody or everybody):
 		// degrade to the plain per-delta pass.
+		t.met.attribFallbacks.Inc()
 		t.commitEach(batch, acks, nil)
 		return
 	}
+	t.met.attribRechecks.Add(int64(len(implicated)))
 	t.commitGroup(batch, acks, rest)
 	t.commitEach(batch, acks, implicated)
 }

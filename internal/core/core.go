@@ -17,6 +17,7 @@ import (
 	"tintin/internal/edc"
 	"tintin/internal/engine"
 	"tintin/internal/logic"
+	"tintin/internal/obs"
 	"tintin/internal/sched"
 	"tintin/internal/sqlgen"
 	"tintin/internal/sqlparser"
@@ -57,6 +58,28 @@ type Options struct {
 	// it caps the cost of pathological updates at the detection cost. The
 	// witness is deterministic — the first row the serial check would find.
 	FailFast bool
+	// Metrics, when set, is the registry the tool publishes commit-path
+	// telemetry into: commit/reject counters, safeCommit and per-view
+	// latency histograms, scheduler and group-commit counters, and live
+	// plan-cache gauges. Nil disables all of it; instrumentation then costs
+	// one predictable branch per site (see internal/obs).
+	Metrics *obs.Registry
+	// Trace enables per-commit span recording: every SafeCommit produces a
+	// span tree (normalize → check → freeze/fan-out/merge → apply) kept in
+	// a bounded ring readable via LastTrace / Tracer. Off by default; span
+	// storage is pooled, so steady-state tracing does not allocate.
+	Trace bool
+	// TraceRing caps the trace ring (0 = obs.DefaultTraceRing).
+	TraceRing int
+	// SlowTrace promotes any commit trace slower than this threshold to a
+	// structured JSON log line on SlowTraceWriter (0 = never promote).
+	SlowTrace time.Duration
+	// SlowTraceWriter receives promoted slow traces (default os.Stderr).
+	SlowTraceWriter io.Writer
+	// ProfileLabels applies pprof labels (view, partition) to scheduler
+	// subtask execution so CPU profiles attribute worker samples. Off by
+	// default: label application allocates.
+	ProfileLabels bool
 }
 
 // DefaultOptions enables everything, matching the paper's tool.
@@ -141,6 +164,14 @@ type Tool struct {
 	// no-violation check re-executes plans into it without allocating
 	// result storage. Violation rows are copied out before reuse.
 	checkRes engine.Result
+
+	// met holds the resolved metric pointers (all nil when Options.Metrics
+	// is unset); tracer records per-commit span trees (nil when tracing is
+	// off). batchSpan, set only while the group committer's leader drives a
+	// batch, nests that batch's SafeCommit spans under the batch trace.
+	met       toolMetrics
+	tracer    *obs.Tracer
+	batchSpan *obs.Span
 }
 
 // New creates a tool over db with the given options.
@@ -153,6 +184,18 @@ func New(db *storage.DB, opts Options) *Tool {
 	}
 	if opts.Workers > 1 {
 		t.pool = sched.NewPool(opts.Workers)
+		t.pool.SetProfileLabels(opts.ProfileLabels)
+	}
+	if opts.Metrics != nil {
+		t.initMetrics(opts.Metrics)
+	}
+	if opts.Trace {
+		t.tracer = obs.NewTracer(opts.TraceRing)
+		t.tracer.SetEnabled(true)
+		t.tracer.SetSlowThreshold(opts.SlowTrace)
+		if opts.SlowTraceWriter != nil {
+			t.tracer.SetSlowWriter(opts.SlowTraceWriter)
+		}
 	}
 	t.eng.DisableIndexProbes = opts.DisableIndexProbes
 	t.eng.RegisterProcedure("safecommit", func() (*engine.ExecResult, error) {
@@ -349,11 +392,18 @@ func (t *Tool) DropAssertion(name string) error {
 // committing or truncating anything. It implements the paper's efficiency
 // mechanism: a view is skipped outright when every event table that could
 // trigger it is empty.
-func (t *Tool) Check() (*CommitResult, error) {
+func (t *Tool) Check() (*CommitResult, error) { return t.check(nil) }
+
+// check is Check with an optional parent span (the SafeCommit trace root);
+// a nil parent makes every span call a no-op branch.
+func (t *Tool) check(parent *obs.Span) (*CommitResult, error) {
 	res := &CommitResult{}
+	ns := parent.Child("normalize")
 	normStart := time.Now()
 	res.CancelledEvents = t.db.NormalizeEvents()
 	res.NormalizeDuration = time.Since(normStart)
+	ns.SetAttrInt("cancelled", int64(res.CancelledEvents))
+	ns.End()
 
 	start := time.Now()
 	nonEmpty := map[string]bool{}
@@ -394,16 +444,28 @@ func (t *Tool) Check() (*CommitResult, error) {
 	// or a single view the cost model wants to split — the one-hot-view
 	// schema is exactly the case intra-view parallelism exists for, so a
 	// length-1 check list must not force the serial path.
+	cs := parent.Child("check")
+	cs.SetAttrInt("views_checked", int64(res.ViewsChecked))
+	cs.SetAttrInt("views_skipped", int64(res.ViewsSkipped))
 	var err error
 	if parts := t.splitDecision(checks); parts != nil {
-		err = t.checkParallel(checks, parts, res)
+		err = t.checkParallel(checks, parts, res, cs)
 	} else {
-		err = t.checkSerial(checks, res)
+		err = t.checkSerial(checks, res, cs)
 	}
+	cs.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Duration = time.Since(start)
+
+	m := &t.met
+	m.viewsChecked.Add(int64(res.ViewsChecked))
+	m.viewsSkipped.Add(int64(res.ViewsSkipped))
+	m.assertionsSkipped.Add(int64(res.AssertionsSkipped))
+	m.eventsCancelled.Add(int64(res.CancelledEvents))
+	m.checkNS.ObserveDuration(res.Duration)
+	m.normalizeNS.ObserveDuration(res.NormalizeDuration)
 	return res, nil
 }
 
@@ -443,20 +505,25 @@ func (t *Tool) rowLimit() int {
 // fed to the cost model even on this path, so a tool later reconfigured for
 // (or benchmarked against) the parallel splitter starts with warm
 // estimates, and -perview skew tables work without workers.
-func (t *Tool) checkSerial(checks []viewCheck, res *CommitResult) error {
+func (t *Tool) checkSerial(checks []viewCheck, res *CommitResult, parent *obs.Span) error {
 	limit := t.rowLimit()
 	for _, c := range checks {
 		p, err := t.eng.PrepareView(c.view)
 		if err != nil {
 			return fmt.Errorf("tintin: evaluating %s: %w", c.view, err)
 		}
+		sp := parent.Child("task")
+		sp.SetAttr("view", c.view)
+		sp.SetAttr("lane", "serial")
 		start := time.Now()
 		if err := p.QueryLimitInto(limit, &t.checkRes); err != nil {
 			return fmt.Errorf("tintin: evaluating %s: %w", c.view, err)
 		}
 		d := time.Since(start)
+		sp.SetAttrInt("rows", int64(len(t.checkRes.Rows)))
+		sp.End()
 		res.ViewDurations = append(res.ViewDurations, ViewDuration{View: c.view, Duration: d})
-		t.cost.observe(c.view, d)
+		t.observeView(c.view, d)
 		if len(t.checkRes.Rows) > 0 {
 			res.Violations = append(res.Violations, Violation{
 				Assertion: c.assertion.Name,
@@ -482,7 +549,7 @@ func (t *Tool) checkSerial(checks []viewCheck, res *CommitResult) error {
 // subtasks instead of one task, so the slowest view no longer bounds the
 // fan-out's makespan. The pool merges partition outputs in range order, so
 // splitting never changes a CommitResult.
-func (t *Tool) checkParallel(checks []viewCheck, parts []int, res *CommitResult) error {
+func (t *Tool) checkParallel(checks []viewCheck, parts []int, res *CommitResult, parent *obs.Span) error {
 	limit := t.rowLimit()
 	tasks := make([]sched.Task, len(checks))
 	for i, c := range checks {
@@ -505,9 +572,11 @@ func (t *Tool) checkParallel(checks []viewCheck, parts []int, res *CommitResult)
 		}
 	}
 
+	fs := parent.Child("freeze")
 	t.db.Freeze()
+	fs.End()
 	defer t.db.Thaw() // deferred: a panic escaping the pool must not leave the db frozen
-	outs := t.pool.Run(tasks)
+	outs := t.pool.RunSpan(tasks, parent)
 
 	for i, out := range outs {
 		c := checks[i]
@@ -515,7 +584,7 @@ func (t *Tool) checkParallel(checks []viewCheck, parts []int, res *CommitResult)
 			return fmt.Errorf("tintin: evaluating %s: %w", c.view, out.Err)
 		}
 		res.ViewDurations = append(res.ViewDurations, ViewDuration{View: c.view, Duration: out.Duration})
-		t.cost.observe(c.view, out.Duration)
+		t.observeView(c.view, out.Duration)
 		if len(out.Rows) > 0 {
 			res.Violations = append(res.Violations, Violation{
 				Assertion: c.assertion.Name,
@@ -543,18 +612,59 @@ func anyTrigger(triggers []string, nonEmpty map[string]bool) bool {
 // tables; either way the event tables are truncated afterwards so a new
 // update can be proposed.
 func (t *Tool) SafeCommit() (*CommitResult, error) {
-	res, err := t.Check()
+	// Root the span tree: under the group committer's leader the batch
+	// trace is already open and this commit nests inside it; a direct call
+	// starts (or, with tracing off, skips) its own trace.
+	var trace *obs.Trace
+	root := t.batchSpan.Child("safecommit")
+	if root == nil {
+		trace = t.tracer.Start("safecommit")
+		root = trace.Root()
+	}
+	start := time.Now()
+	res, err := t.safeCommit(root)
+	if err == nil {
+		t.met.safeCommitNS.ObserveDuration(time.Since(start))
+		if res.Committed {
+			root.SetAttrInt("committed", 1)
+			t.met.commits.Inc()
+		} else {
+			root.SetAttrInt("committed", 0)
+			root.SetAttrInt("violations", int64(len(res.Violations)))
+			t.met.rejects.Inc()
+			for _, v := range res.Violations {
+				t.met.violationRows.Add(int64(len(v.Rows)))
+			}
+		}
+	}
+	if trace != nil {
+		trace.Finish()
+	} else {
+		root.End()
+	}
+	return res, err
+}
+
+func (t *Tool) safeCommit(root *obs.Span) (*CommitResult, error) {
+	res, err := t.check(root)
 	if err != nil {
 		return nil, err
 	}
 	if len(res.Violations) == 0 {
-		if err := t.db.ApplyEvents(); err != nil {
+		as := root.Child("apply")
+		applyStart := time.Now()
+		err := t.db.ApplyEvents()
+		as.End()
+		if err != nil {
 			return nil, err
 		}
+		t.met.applyNS.ObserveDuration(time.Since(applyStart))
 		res.Committed = true
 		return res, nil
 	}
+	ts := root.Child("truncate")
 	t.db.TruncateEvents()
+	ts.End()
 	return res, nil
 }
 
@@ -572,13 +682,17 @@ func (t *Tool) ViewsFor(name string) ([]string, []string, error) {
 	return append([]string(nil), a.Views...), sqls, nil
 }
 
-// Stats summarizes the compiled state (used by the CLI and tests).
+// Stats summarizes the compiled state (used by the CLI and tests) and,
+// when the tool was built with Options.Metrics, carries a point-in-time
+// runtime snapshot of every commit-path metric.
 type Stats struct {
-	Assertions  int
-	EDCs        int
-	Discarded   int
-	Views       int
-	EventTables []string
+	Assertions  int      `json:"assertions"`
+	EDCs        int      `json:"edcs"`
+	Discarded   int      `json:"discarded"`
+	Views       int      `json:"views"`
+	EventTables []string `json:"event_tables"`
+	// Runtime is the registry snapshot (nil when metrics are unwired).
+	Runtime *obs.Snapshot `json:"runtime,omitempty"`
 }
 
 // Save persists the full tool state — the database (including event tables,
@@ -638,5 +752,9 @@ func (t *Tool) Stats() Stats {
 	}
 	sort.Strings(evts)
 	s.EventTables = evts
+	if t.met.reg != nil {
+		snap := t.met.reg.Snapshot()
+		s.Runtime = &snap
+	}
 	return s
 }

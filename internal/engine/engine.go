@@ -30,7 +30,7 @@ type Engine struct {
 	// plans caches compiled view plans by view name (see PrepareView);
 	// planStats counts its traffic.
 	plans     map[string]*PreparedQuery
-	planStats PlanCacheStats
+	planStats planCounters
 }
 
 // New returns an engine over db.

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"tintin/internal/sqlparser"
 	"tintin/internal/sqltypes"
@@ -52,12 +53,32 @@ type PlanCacheStats struct {
 	Fallbacks int `json:"fallbacks"`
 }
 
-// PlanCacheStats returns the engine's plan-cache counters.
-func (e *Engine) PlanCacheStats() PlanCacheStats { return e.planStats }
+// planCounters is the engine-internal, atomically updated form of
+// PlanCacheStats. The prepare path runs on the commit coordinator while
+// stats readers (GaugeFunc exports, \stats, concurrent Tool.Stats() calls)
+// may load from any goroutine, so plain ints would race.
+type planCounters struct {
+	hits, misses, invalidations, fallbacks atomic.Int64
+}
+
+// PlanCacheStats returns the engine's plan-cache counters. The exported
+// shape stays the plain-int struct whose JSON encoding \explain pins.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	return PlanCacheStats{
+		Hits:          int(e.planStats.hits.Load()),
+		Misses:        int(e.planStats.misses.Load()),
+		Invalidations: int(e.planStats.invalidations.Load()),
+		Fallbacks:     int(e.planStats.fallbacks.Load()),
+	}
+}
 
 // Cacheable reports whether executions reuse the compiled plan (false for
 // queries that read other views).
 func (p *PreparedQuery) Cacheable() bool { return p.branches != nil }
+
+// Name returns the view name the plan was prepared for; trace spans and
+// pprof labels use it to attribute work to views.
+func (p *PreparedQuery) Name() string { return p.name }
 
 // PrepareView returns the compiled plan for a stored view, building and
 // caching it on first use and transparently re-preparing when the table set
@@ -71,20 +92,20 @@ func (e *Engine) PrepareView(name string) (*PreparedQuery, error) {
 	if p, ok := e.plans[name]; ok {
 		if p.sel == sel && p.schemaVersion == e.db.SchemaVersion() && p.noProbes == e.DisableIndexProbes {
 			if p.branches != nil {
-				e.planStats.Hits++
+				e.planStats.hits.Add(1)
 			} else {
-				e.planStats.Fallbacks++
+				e.planStats.fallbacks.Add(1)
 			}
 			return p, nil
 		}
 		delete(e.plans, name)
-		e.planStats.Invalidations++
+		e.planStats.invalidations.Add(1)
 	}
 	p, err := e.prepare(name, sel)
 	if err != nil {
 		return nil, err
 	}
-	e.planStats.Misses++
+	e.planStats.misses.Add(1)
 	if e.plans == nil {
 		e.plans = make(map[string]*PreparedQuery)
 	}
@@ -95,7 +116,7 @@ func (e *Engine) PrepareView(name string) (*PreparedQuery, error) {
 // InvalidatePlans drops every cached plan (used when a caller mutates state
 // the engine cannot observe).
 func (e *Engine) InvalidatePlans() {
-	e.planStats.Invalidations += len(e.plans)
+	e.planStats.invalidations.Add(int64(len(e.plans)))
 	e.plans = nil
 }
 
@@ -105,7 +126,7 @@ func (e *Engine) ForgetPlan(name string) {
 	name = strings.ToLower(name)
 	if _, ok := e.plans[name]; ok {
 		delete(e.plans, name)
-		e.planStats.Invalidations++
+		e.planStats.invalidations.Add(1)
 	}
 }
 

@@ -293,3 +293,41 @@ func TestPreparedInSubqueryMemoReset(t *testing.T) {
 		t.Fatalf("rows = %v, want none (memo not reset?)", res.Rows)
 	}
 }
+
+// TestPlanCacheStatsConcurrentReads pins the satellite fix for the latent
+// data race: stats readers polling PlanCacheStats from other goroutines
+// while the coordinator drives the prepare path. Run under -race.
+func TestPlanCacheStatsConcurrentReads(t *testing.T) {
+	db, eng := prepDB(t)
+	createView(t, db, "v",
+		`SELECT o.o_orderkey FROM orders AS o, lineitem AS l WHERE l.l_orderkey = o.o_orderkey`)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = eng.PlanCacheStats()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := eng.PrepareView("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.InvalidatePlans()
+	if _, err := eng.PrepareView("v"); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-done
+	st := eng.PlanCacheStats()
+	if st.Hits != 199 || st.Misses != 2 || st.Invalidations != 1 {
+		t.Fatalf("stats after concurrent reads: %+v", st)
+	}
+}

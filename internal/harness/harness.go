@@ -13,6 +13,7 @@ import (
 
 	"tintin/internal/baseline"
 	"tintin/internal/core"
+	"tintin/internal/obs"
 	"tintin/internal/tpch"
 )
 
@@ -37,6 +38,17 @@ type Config struct {
 	// see core.Options.Workers. Violation output is deterministic at any
 	// worker count, so tables are comparable across settings.
 	Workers int
+	// Metrics, when set, wires every experiment tool into this registry, so
+	// a bench run exposes the same commit-path metrics a production tool
+	// would (cmd/tintinbench -metrics). RunPerView requires a registry — it
+	// derives its table from the per-view histograms — and creates a private
+	// one when this is nil.
+	Metrics *obs.Registry
+	// SlowTrace, when positive, enables commit tracing on every experiment
+	// tool and promotes traces slower than this threshold to a JSON line on
+	// stderr (cmd/tintinbench -trace-slow) — the way to see the span
+	// decomposition of exactly the grid cells that misbehave.
+	SlowTrace time.Duration
 }
 
 // options builds the tool options for this config (the paper's defaults
@@ -44,6 +56,11 @@ type Config struct {
 func (c Config) options() core.Options {
 	opts := core.DefaultOptions()
 	opts.Workers = c.Workers
+	opts.Metrics = c.Metrics
+	if c.SlowTrace > 0 {
+		opts.Trace = true
+		opts.SlowTrace = c.SlowTrace
+	}
 	return opts
 }
 
@@ -425,10 +442,20 @@ func RunE4(cfg Config) (*Table, error) {
 // intra-view splitter: the views at the top of this table are the ones the
 // cost model will cut into partition subtasks, and their share column says
 // what the per-view task granularity caps the parallel speedup at.
+//
+// The table is not derived from CheckResult.ViewDurations but from the
+// metrics registry: a snapshot delta over the timed reps of the same
+// tintin_view_check_ns histograms that \stats and -metrics expose, so this
+// table and the live metrics can never disagree about what a check spent
+// where. The warm-up check runs before the first snapshot, so its one-off
+// costs stay out of the delta.
 func RunPerView(cfg Config) (*Table, error) {
 	const reps = 5
 	gb := cfg.GBs[len(cfg.GBs)-1]
 	mb := cfg.MBs[len(cfg.MBs)-1]
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	tool, gen, err := setup(cfg, gb, cfg.options(), tpch.ComplexityAssertions())
 	if err != nil {
 		return nil, err
@@ -444,38 +471,59 @@ func RunPerView(cfg Config) (*Table, error) {
 	if _, err := tool.Check(); err != nil { // warm-up: see measure's comment
 		return nil, err
 	}
-	sum := map[string]time.Duration{}
-	var order []string
-	var total time.Duration
+	before := cfg.Metrics.Snapshot()
 	for r := 0; r < reps; r++ {
-		res, err := tool.Check()
-		if err != nil {
+		if _, err := tool.Check(); err != nil {
 			return nil, err
 		}
-		for _, vd := range res.ViewDurations {
-			if _, seen := sum[vd.View]; !seen {
-				order = append(order, vd.View)
-			}
-			sum[vd.View] += vd.Duration
-			total += vd.Duration
-		}
 	}
-	sort.SliceStable(order, func(i, j int) bool { return sum[order[i]] > sum[order[j]] })
+	after := cfg.Metrics.Snapshot()
+
+	prefix := obs.Label("tintin_view_check_ns", "view", "")
+	type viewRow struct {
+		view string
+		sum  time.Duration
+		n    int64
+	}
+	var rows []viewRow
+	var total time.Duration
+	for name, hs := range after.Histograms {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		n, sum := hs.Count, hs.Sum
+		if b, ok := before.Histograms[name]; ok {
+			n -= b.Count
+			sum -= b.Sum
+		}
+		if n == 0 {
+			continue
+		}
+		rows = append(rows, viewRow{view: strings.TrimPrefix(name, prefix), sum: time.Duration(sum), n: n})
+		total += time.Duration(sum)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].sum != rows[j].sum {
+			return rows[i].sum > rows[j].sum
+		}
+		return rows[i].view < rows[j].view
+	})
 
 	t := &Table{
 		Title:   fmt.Sprintf("Per-view check durations — %dGB data, %dMB update, mean of %d checks", gb, mb, reps),
 		Headers: []string{"view", "mean", "share"},
 		Notes: []string{
 			"the top view bounds the per-view parallel speedup; views above the fair share are what the splitter partitions",
+			"sourced from the tintin_view_check_ns metrics (snapshot delta over the timed checks)",
 		},
 	}
-	for _, v := range order {
-		mean := sum[v] / reps
+	for _, r := range rows {
+		mean := r.sum / time.Duration(r.n)
 		share := 0.0
 		if total > 0 {
-			share = 100 * float64(sum[v]) / float64(total)
+			share = 100 * float64(r.sum) / float64(total)
 		}
-		t.Rows = append(t.Rows, []string{v, mean.String(), fmt.Sprintf("%.1f%%", share)})
+		t.Rows = append(t.Rows, []string{r.view, mean.String(), fmt.Sprintf("%.1f%%", share)})
 	}
 	return t, nil
 }

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// defaultDurationBounds are the latency buckets: exponential from 1µs to
+// ~2.1s (1µs·2^i, 22 buckets) plus the implicit +Inf overflow. Commit
+// checks live in the 10µs–10ms band, so every decade there gets ~3.3
+// buckets of resolution — enough for p50/p90/p99 extraction by linear
+// interpolation without per-observation cost beyond one atomic add.
+func defaultDurationBounds() []int64 {
+	out := make([]int64, 22)
+	b := int64(1000)
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram with atomic counts. Observations
+// and reads may race freely; a snapshot is not a consistent cut (counts
+// may lag sum by in-flight observations), which is fine for telemetry.
+// Nil-receiver-safe like Counter.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// NewHistogram creates a histogram over the given ascending upper bounds
+// (nil = the default duration buckets).
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = defaultDurationBounds()
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket holding the rank. An empty histogram reports 0; a
+// value in the overflow bucket reports the largest finite bound (there is
+// no upper edge to interpolate toward).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q*float64(n) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if cum+c >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := float64(rank-cum) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistSnapshot is the JSON-ready summary of a histogram: totals, extracted
+// latency quantiles, and the raw bucket layout (bounds plus per-bucket
+// counts; the final count is the +Inf overflow).
+type HistSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	P50     int64   `json:"p50"`
+	P90     int64   `json:"p90"`
+	P99     int64   `json:"p99"`
+	Buckets []int64 `json:"-"`
+	Counts  []int64 `json:"-"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		P50:     h.Quantile(0.50),
+		P90:     h.Quantile(0.90),
+		P99:     h.Quantile(0.99),
+		Buckets: h.bounds,
+		Counts:  make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

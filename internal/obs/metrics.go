@@ -1,0 +1,308 @@
+// Package obs is the dependency-free observability layer for the commit
+// path: a metrics registry of atomic counters, gauges and fixed-bucket
+// latency histograms (metrics.go, histogram.go), and per-commit trace spans
+// recorded into a bounded ring with slow-trace promotion (trace.go).
+//
+// The design constraint is the hot path: safeCommit checks run at
+// microsecond scale, so every primitive here must cost atomic-op time and
+// zero allocations once created. Counters, gauges and histogram observes
+// are single atomic RMWs; instrumented call sites hold direct pointers to
+// their metrics (the registry's maps are only walked by readers); and every
+// mutating method is nil-receiver-safe, so optional instrumentation needs
+// no branches at the call site.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-receiver-safe: an unwired instrumentation point costs one predictable
+// branch.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value metric. Nil-receiver-safe like Counter.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by n (queue-depth style usage).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Label composes a metric name with one label pair, e.g.
+// Label("tintin_view_check_ns", "view", "v_a_1") →
+// "tintin_view_check_ns;view=v_a_1". The registry treats the full string as
+// the metric key; the Prometheus writer renders the label properly.
+func Label(name, key, value string) string {
+	return name + ";" + key + "=" + value
+}
+
+// splitLabel splits a registry key into its base name and rendered
+// Prometheus label ("" when unlabeled).
+func splitLabel(full string) (base, label string) {
+	i := strings.IndexByte(full, ';')
+	if i < 0 {
+		return full, ""
+	}
+	kv := full[i+1:]
+	j := strings.IndexByte(kv, '=')
+	if j < 0 {
+		return full[:i], ""
+	}
+	return full[:i], kv[:j] + `="` + kv[j+1:] + `"`
+}
+
+// Registry is a set of named metrics. Get-or-create accessors are safe for
+// concurrent use; hot paths should call them once and keep the returned
+// pointer.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, for callers that want one
+// shared surface; components default to private registries so tests and
+// multi-tool processes do not interleave.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at read time — the
+// way to surface counters a component already maintains (the engine's
+// plan-cache stats) without double-counting writes. Re-registering a name
+// replaces the function: with a shared registry the newest component wins.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	r.gaugeFns[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named latency histogram (default duration buckets),
+// creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBounds(name, nil)
+}
+
+// HistogramBounds returns the named histogram with explicit ascending
+// bucket upper bounds (nil = the default duration buckets). Bounds are
+// fixed at creation; later calls ignore the argument.
+func (r *Registry) HistogramBounds(name string, bounds []int64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric, JSON-ready. Map keys
+// marshal in sorted order, so encoded snapshots are deterministic.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry. Function gauges are evaluated here, with
+// no registry lock held (a GaugeFunc may take its component's own lock).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)+len(r.gaugeFns)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	fns := make(map[string]func() int64, len(r.gaugeFns))
+	for n, fn := range r.gaugeFns {
+		fns[n] = fn
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	r.mu.RUnlock()
+	for n, fn := range fns {
+		s.Gauges[n] = fn()
+	}
+	return s
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format, metrics sorted by name, one TYPE line per metric family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lastBase := ""
+	for _, n := range names {
+		base, label := splitLabel(n)
+		if base != lastBase {
+			fmt.Fprintf(w, "# TYPE %s counter\n", base)
+			lastBase = base
+		}
+		if label != "" {
+			label = "{" + label + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", base, label, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lastBase = ""
+	for _, n := range names {
+		base, label := splitLabel(n)
+		if base != lastBase {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+			lastBase = base
+		}
+		if label != "" {
+			label = "{" + label + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", base, label, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lastBase = ""
+	for _, n := range names {
+		base, label := splitLabel(n)
+		if base != lastBase {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", base)
+			lastBase = base
+		}
+		hs := s.Histograms[n]
+		pre := label // inner label list for the _bucket series, "," terminated
+		if pre != "" {
+			pre += ","
+		}
+		var cum int64
+		for i, b := range hs.Buckets {
+			cum += hs.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", base, pre, b, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, pre, hs.Count)
+		braced := ""
+		if label != "" {
+			braced = "{" + label + "}"
+		}
+		fmt.Fprintf(w, "%s_sum%s %d\n", base, braced, hs.Sum)
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, braced, hs.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram has state")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot non-empty")
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty histogram q%.2f = %d, want 0", q, v)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	h := NewHistogram([]int64{1000, 2000, 4000})
+	h.Observe(1000) // exactly on the first bucket boundary
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if v := h.Quantile(q); v != 1000 {
+			t.Fatalf("single sample at boundary: q%.2f = %d, want 1000", q, v)
+		}
+	}
+}
+
+func TestHistogramQuantileBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 40})
+	// Two samples in [0,10], two in (10,20].
+	for _, v := range []int64{5, 10, 15, 20} {
+		h.Observe(v)
+	}
+	// rank(0.5) = 2 → top of bucket 0 → its upper bound.
+	if v := h.Quantile(0.5); v != 10 {
+		t.Fatalf("q50 = %d, want 10", v)
+	}
+	// rank(1.0) = 4 → top of bucket 1.
+	if v := h.Quantile(1.0); v != 20 {
+		t.Fatalf("q100 = %d, want 20", v)
+	}
+	// rank(0.75) = 3 → halfway through bucket 1: 10 + 1/2·(20-10) = 15.
+	if v := h.Quantile(0.75); v != 15 {
+		t.Fatalf("q75 = %d, want 15", v)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]int64{10, 20})
+	h.Observe(1_000_000)
+	// Overflow has no upper edge: report the largest finite bound.
+	if v := h.Quantile(0.5); v != 20 {
+		t.Fatalf("overflow q50 = %d, want 20", v)
+	}
+	if h.Sum() != 1_000_000 || h.Count() != 1 {
+		t.Fatalf("sum/count = %d/%d", h.Sum(), h.Count())
+	}
+}
+
+func TestRegistrySnapshotAndPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tintin_commits_total").Add(2)
+	r.Counter(Label("tintin_view_check_count", "view", "v_a_1")).Inc()
+	r.Gauge("tintin_queue_depth").Set(3)
+	r.GaugeFunc("tintin_live", func() int64 { return 7 })
+	r.Histogram(Label("tintin_check_ns", "view", "v_a_1")).Observe(1500)
+	r.HistogramBounds("tintin_batch_size", []int64{1, 2, 4}).Observe(2)
+
+	s := r.Snapshot()
+	if s.Counters["tintin_commits_total"] != 2 {
+		t.Fatalf("counter snapshot: %+v", s.Counters)
+	}
+	if s.Gauges["tintin_live"] != 7 || s.Gauges["tintin_queue_depth"] != 3 {
+		t.Fatalf("gauge snapshot: %+v", s.Gauges)
+	}
+	hs := s.Histograms[Label("tintin_check_ns", "view", "v_a_1")]
+	if hs.Count != 1 || hs.Sum != 1500 {
+		t.Fatalf("hist snapshot: %+v", hs)
+	}
+
+	// Snapshots must be JSON-encodable with deterministic key order.
+	j1, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(r.Snapshot())
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("snapshot JSON nondeterministic:\n%s\n%s", j1, j2)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE tintin_commits_total counter",
+		"tintin_commits_total 2",
+		`tintin_view_check_count{view="v_a_1"} 1`,
+		"# TYPE tintin_queue_depth gauge",
+		"tintin_live 7",
+		"# TYPE tintin_check_ns histogram",
+		`tintin_check_ns_bucket{view="v_a_1",le="1000"} 0`,
+		`tintin_check_ns_bucket{view="v_a_1",le="2000"} 1`,
+		`tintin_check_ns_bucket{view="v_a_1",le="+Inf"} 1`,
+		`tintin_check_ns_sum{view="v_a_1"} 1500`,
+		`tintin_check_ns_count{view="v_a_1"} 1`,
+		`tintin_batch_size_bucket{le="2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers get-or-create against snapshots; run
+// under -race it proves the registry is safe to poll while hot paths write.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"a", "b", "c", "d"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter(names[i%4]).Inc()
+				r.Gauge(names[(i+w)%4]).Set(int64(i))
+				r.Histogram(names[(i+2*w)%4]).Observe(int64(i))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		_ = r.Snapshot()
+		var buf bytes.Buffer
+		_ = r.WritePrometheus(&buf)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTracerDisabledIsNilSafe(t *testing.T) {
+	tr := NewTracer(4)
+	trace := tr.Start("commit")
+	if trace != nil {
+		t.Fatal("disabled tracer returned a trace")
+	}
+	root := trace.Root()
+	if root != nil {
+		t.Fatal("nil trace returned a span")
+	}
+	child := root.Child("x") // all nil-safe no-ops
+	child.Begin()
+	child.SetAttr("k", "v")
+	child.SetAttrInt("n", 1)
+	child.End()
+	trace.Finish()
+	if tr.Last() != nil {
+		t.Fatal("ring not empty")
+	}
+}
+
+func TestTracerRingBoundedAndOrdered(t *testing.T) {
+	tr := NewTracer(3)
+	tr.SetEnabled(true)
+	for i := 0; i < 5; i++ {
+		trace := tr.Start("commit")
+		sp := trace.Root().Child("step")
+		sp.SetAttrInt("i", int64(i))
+		sp.End()
+		trace.Finish()
+	}
+	all := tr.Traces()
+	if len(all) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(all))
+	}
+	// Oldest two evicted: ids 3,4,5 remain in order.
+	for i, want := range []uint64{3, 4, 5} {
+		if all[i].ID != want {
+			t.Fatalf("ring[%d].ID = %d, want %d", i, all[i].ID, want)
+		}
+	}
+	last := tr.Last()
+	if last == nil || last.ID != 5 {
+		t.Fatalf("Last = %+v", last)
+	}
+	if len(last.Root.Children) != 1 || last.Root.Children[0].Name != "step" {
+		t.Fatalf("span tree lost: %+v", last.Root)
+	}
+	attrs := last.Root.Children[0].Attrs
+	if len(attrs) != 1 || attrs[0].Key != "i" || attrs[0].Int() != 4 || attrs[0].Value() != "4" {
+		t.Fatalf("attrs lost: %+v", attrs)
+	}
+
+	drained := tr.Drain()
+	if len(drained) != 3 || tr.Last() != nil || len(tr.Traces()) != 0 {
+		t.Fatalf("drain left state: %d traces", len(tr.Traces()))
+	}
+}
+
+func TestTracerSlowPromotion(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(1) // everything is slow
+	var buf bytes.Buffer
+	tr.SetSlowWriter(&buf)
+	trace := tr.Start("safecommit")
+	trace.Root().SetAttrInt("deltas", 2)
+	time.Sleep(time.Microsecond)
+	trace.Finish()
+	line := buf.String()
+	if !strings.Contains(line, `"msg":"slow commit trace"`) || !strings.Contains(line, `"name":"safecommit"`) {
+		t.Fatalf("slow log line: %q", line)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(line)), &decoded); err != nil {
+		t.Fatalf("slow log not one JSON object: %v\n%s", err, line)
+	}
+	if tr.SlowCount.Value() != 1 {
+		t.Fatalf("SlowCount = %d", tr.SlowCount.Value())
+	}
+
+	// Below threshold: no promotion.
+	buf.Reset()
+	tr.SetSlowThreshold(time.Hour)
+	fast := tr.Start("safecommit")
+	fast.Finish()
+	if buf.Len() != 0 {
+		t.Fatalf("fast trace promoted: %q", buf.String())
+	}
+}
+
+// TestTracerSteadyStateAllocs pins the pooling contract: once the ring is
+// full, recording a trace with a small span tree reuses evicted spans
+// instead of allocating. A little slack absorbs sync.Pool's GC behavior.
+func TestTracerSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	tr := NewTracer(4)
+	tr.SetEnabled(true)
+	record := func() {
+		trace := tr.Start("commit")
+		for i := 0; i < 3; i++ {
+			sp := trace.Root().Child("view")
+			sp.SetAttrInt("worker", int64(i))
+			sp.SetAttrInt("rows", 0)
+			sp.End()
+		}
+		trace.Finish()
+	}
+	for i := 0; i < 16; i++ { // fill the ring and warm the pools
+		record()
+	}
+	avg := testing.AllocsPerRun(100, record)
+	if avg > 2 {
+		t.Fatalf("steady-state trace recording allocates %.1f/op, want ~0", avg)
+	}
+}

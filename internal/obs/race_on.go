@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is active; allocation-bound
+// tests skip under it (detector instrumentation allocates).
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"tintin/internal/obs"
 	"tintin/internal/sqltypes"
 )
 
@@ -47,6 +48,30 @@ type CommitterOption func(*committerConfig)
 type committerConfig struct {
 	maxBatch int
 	keyFn    func(Op) []string
+	metrics  CommitterMetrics
+}
+
+// CommitterMetrics are the group-commit counters a committer maintains.
+// Every field is optional (obs primitives are nil-receiver-safe); the zero
+// value unwires them all.
+type CommitterMetrics struct {
+	// Batches counts batches handed to the BatchFunc.
+	Batches *obs.Counter
+	// BatchDeltas counts deltas carried by those batches; BatchDeltas /
+	// Batches is the realized group-commit amplification.
+	BatchDeltas *obs.Counter
+	// Deferrals counts deltas pushed to a later batch because their conflict
+	// keys collided with an earlier queued delta.
+	Deferrals *obs.Counter
+	// BatchSize distributes the per-batch delta count.
+	BatchSize *obs.Histogram
+	// QueueDepth tracks deltas enqueued but not yet handed to the BatchFunc.
+	QueueDepth *obs.Gauge
+}
+
+// WithMetrics wires group-commit metrics into the committer.
+func WithMetrics(m CommitterMetrics) CommitterOption {
+	return func(c *committerConfig) { c.metrics = m }
 }
 
 // WithMaxBatch caps how many deltas one batch may carry (default 64).
@@ -125,6 +150,7 @@ func (c *Committer[R]) Commit(d Delta) (R, error) {
 		return zero, ErrCommitterClosed
 	}
 	c.queue = append(c.queue, p)
+	c.cfg.metrics.QueueDepth.Add(1)
 	lead := !c.leading
 	if lead {
 		c.leading = true
@@ -204,12 +230,18 @@ func (c *Committer[R]) cutBatch() []*pending[R] {
 			batch = append(batch, p)
 		} else {
 			rest = append(rest, p)
+			c.cfg.metrics.Deferrals.Inc()
 		}
 		for _, k := range p.keys {
 			taken[k] = true
 		}
 	}
 	c.queue = rest
+	m := &c.cfg.metrics
+	m.Batches.Inc()
+	m.BatchDeltas.Add(int64(len(batch)))
+	m.BatchSize.Observe(int64(len(batch)))
+	m.QueueDepth.Add(-int64(len(batch)))
 	return batch
 }
 

@@ -18,12 +18,16 @@
 package sched
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tintin/internal/engine"
+	"tintin/internal/obs"
 	"tintin/internal/sqltypes"
 	"tintin/internal/storage"
 )
@@ -88,7 +92,42 @@ type Pool struct {
 	// reused across Run calls so steady-state commits don't allocate them.
 	subs     []subtask
 	partials []Outcome
+	// spans is the per-subtask span scratch for traced runs, same reuse
+	// discipline as partials. Only populated when RunSpan gets a parent.
+	spans []*obs.Span
+
+	metrics    PoolMetrics
+	profLabels bool
 }
+
+// PoolMetrics are the scheduler counters a pool maintains. Every field is
+// optional (obs primitives are nil-receiver-safe), so the zero value is a
+// fully unwired pool that pays only predictable branches.
+type PoolMetrics struct {
+	// Tasks counts tasks scheduled across all Run calls.
+	Tasks *obs.Counter
+	// TasksSplit counts tasks whose driving scan was actually partitioned.
+	TasksSplit *obs.Counter
+	// Subtasks counts scheduled work units: serial tasks, unsplit parallel
+	// tasks, and individual partitions of split tasks.
+	Subtasks *obs.Counter
+	// QueueDepth tracks parallel subtasks published but not yet claimed by a
+	// worker; it spikes to the fan-out width at the start of each Run and
+	// drains to zero as workers pull.
+	QueueDepth *obs.Gauge
+	// BusyNS accumulates worker execution time (the sum over subtasks, not
+	// wall time), the numerator of pool utilization.
+	BusyNS *obs.Counter
+}
+
+// SetMetrics wires the pool's scheduler metrics. Call before Run; the zero
+// value unwires.
+func (p *Pool) SetMetrics(m PoolMetrics) { p.metrics = m }
+
+// SetProfileLabels toggles pprof labels on subtask execution, so CPU
+// profiles attribute worker samples to view and partition. Off by default:
+// label application allocates, which traced hot paths must not.
+func (p *Pool) SetProfileLabels(on bool) { p.profLabels = on }
 
 type workerState struct {
 	clones map[*engine.PreparedQuery]*engine.PreparedQuery
@@ -236,13 +275,38 @@ func merge(tasks []Task, subs []subtask, partials []Outcome, outs []Outcome) {
 // reads. The parallel subtasks (whole tasks and partitions of split tasks)
 // are then pulled off a shared counter by the workers. The caller must
 // guarantee the database is quiescent for the duration.
-func (p *Pool) Run(tasks []Task) []Outcome {
+func (p *Pool) Run(tasks []Task) []Outcome { return p.RunSpan(tasks, nil) }
+
+// RunSpan is Run with trace instrumentation: when parent is non-nil, the
+// pool records one child span per scheduled subtask (view, lane, partition
+// bounds, worker id, row count) plus a merge span. Subtask spans are
+// pre-created here on the coordinator, in deterministic subtask order,
+// before any worker starts; each worker then fills only its own spans, so
+// the span tree needs no locking and its shape does not depend on
+// scheduling. A nil parent (the Run path) skips all span work.
+func (p *Pool) RunSpan(tasks []Task, parent *obs.Span) []Outcome {
 	outs := make([]Outcome, len(tasks))
 	par, ser := p.expand(tasks)
 
+	p.metrics.Tasks.Add(int64(len(tasks)))
+	p.metrics.Subtasks.Add(int64(len(par) + len(ser)))
+	if p.metrics.TasksSplit != nil {
+		for si, sub := range par {
+			if sub.split && (si == 0 || par[si-1].task != sub.task) {
+				p.metrics.TasksSplit.Inc()
+			}
+		}
+	}
+
 	coord := p.states[p.workers]
 	for _, ti := range ser {
+		sp := parent.Child("task")
+		sp.SetAttr("view", tasks[ti].Plan.Name())
+		sp.SetAttr("lane", "serial")
 		outs[ti] = coord.runSub(tasks[ti], subtask{task: ti}, true)
+		p.metrics.BusyNS.Add(int64(outs[ti].Duration))
+		sp.SetAttrInt("rows", int64(len(outs[ti].Rows)))
+		sp.End()
 	}
 
 	nw := p.workers
@@ -257,32 +321,78 @@ func (p *Pool) Run(tasks []Task) []Outcome {
 		partials[i] = Outcome{} // stale results from the previous Run
 	}
 	p.partials = partials
+
+	var spans []*obs.Span
+	if parent != nil {
+		if cap(p.spans) < len(par) {
+			p.spans = make([]*obs.Span, len(par))
+		}
+		spans = p.spans[:len(par)]
+		for si, sub := range par {
+			sp := parent.Child("task")
+			sp.SetAttr("view", tasks[sub.task].Plan.Name())
+			if sub.split {
+				sp.SetAttr("lane", "split")
+				sp.SetAttrInt("part_start", int64(sub.part.Start))
+				sp.SetAttrInt("part_end", int64(sub.part.End))
+			} else {
+				sp.SetAttr("lane", "parallel")
+			}
+			spans[si] = sp
+		}
+		p.spans = spans
+	}
+
+	p.metrics.QueueDepth.Set(int64(len(par)))
+	runOne := func(st *workerState, w, i int) {
+		sub := par[i]
+		p.metrics.QueueDepth.Add(-1)
+		var sp *obs.Span
+		if spans != nil {
+			sp = spans[i]
+			sp.Begin()
+		}
+		if p.profLabels {
+			lbls := pprof.Labels("view", tasks[sub.task].Plan.Name(),
+				"partition", strconv.Itoa(sub.part.Start))
+			pprof.Do(context.Background(), lbls, func(context.Context) {
+				partials[i] = st.runSub(tasks[sub.task], sub, false)
+			})
+		} else {
+			partials[i] = st.runSub(tasks[sub.task], sub, false)
+		}
+		p.metrics.BusyNS.Add(int64(partials[i].Duration))
+		sp.SetAttrInt("worker", int64(w))
+		sp.SetAttrInt("rows", int64(len(partials[i].Rows)))
+		sp.End()
+	}
+
 	if nw <= 1 {
 		// Nothing to fan out (or a single worker): run everything here and
 		// skip the goroutine machinery.
-		for si, sub := range par {
-			partials[si] = p.states[0].runSub(tasks[sub.task], sub, false)
+		for si := range par {
+			runOne(p.states[0], 0, si)
 		}
-		merge(tasks, par, partials, outs)
-		return outs
-	}
-
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func(st *workerState) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(par) {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(st *workerState, w int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(par) {
+						return
+					}
+					runOne(st, w, i)
 				}
-				partials[i] = st.runSub(tasks[par[i].task], par[i], false)
-			}
-		}(p.states[w])
+			}(p.states[w], w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	ms := parent.Child("merge")
 	merge(tasks, par, partials, outs)
+	ms.End()
 	return outs
 }
