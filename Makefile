@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet test-race fuzz bench bench-safecommit bench-parallel bench-obs e1
+.PHONY: check build test vet test-race fuzz bench bench-safecommit bench-parallel bench-obs bench-wal e1
 
 ## check: the tier-1 gate — vet, build, and test everything.
 check: vet build test
@@ -18,11 +18,12 @@ test:
 ## detector; slower, catches engine/state sharing mistakes. Includes the
 ## parallel commit-check scheduler's concurrent-safeCommit tests, the
 ## intra-view partitioned-check tests (partition parity + concurrent
-## partitioned commits), and the observability tests (registry/tracer
+## partitioned commits), the observability tests (registry/tracer
 ## primitives plus concurrent group commits against Stats()/trace-ring
-## readers).
+## readers), and the WAL/fault-injection tests (crash-recovery matrix,
+## torn-tail handling, fsync policies).
 test-race:
-	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/ ./internal/sched/ ./internal/obs/
+	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/ ./internal/sched/ ./internal/obs/ ./internal/wal/
 
 ## fuzz: budgeted smoke run of the fuzz targets — the differential oracle
 ## (incremental vs baseline verdicts across all commit-check modes), the
@@ -57,6 +58,13 @@ bench-parallel:
 ## BENCH_safecommit.json).
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkSafeCommit$$|BenchmarkSafeCommitMetrics$$' -benchmem -count 5 .
+
+## bench-wal: the durability cost of a commit — the full safeCommit+apply
+## cycle with the WAL off vs on under each fsync policy (off/interval/
+## always); the deltas are tracked under "durability" in
+## BENCH_safecommit.json.
+bench-wal:
+	$(GO) test -run '^$$' -bench 'BenchmarkSafeCommitWAL' -benchmem -count 3 .
 
 ## e1: print the headline experiment grid at test scale.
 e1:

@@ -24,6 +24,7 @@ import (
 	"tintin/internal/core"
 	"tintin/internal/obs"
 	"tintin/internal/tpch"
+	"tintin/internal/wal"
 )
 
 func ordersPerGB() int {
@@ -526,6 +527,88 @@ func BenchmarkSafeCommitFailFast(b *testing.B) {
 					}
 				}
 			}
+		})
+	}
+}
+
+// walBenchTool builds a fresh (uncached) tool for the durability benchmark:
+// the WAL directory is per-run scratch space, so the fixture cache would
+// hand later runs a tool whose directory is gone. Checkpointing is disabled
+// to isolate the steady-state cost the WAL adds to every commit — the
+// append plus whatever the fsync policy charges — from the periodic
+// snapshot, whose cost is amortized and scale-dependent.
+func walBenchTool(b *testing.B, durable bool, policy wal.SyncPolicy) (*core.Tool, *tpch.Generator) {
+	b.Helper()
+	scale := tpch.ScaleOrders("1GB", ordersPerGB())
+	db, gen, err := tpch.NewDatabase("tpc", scale, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	if durable {
+		opts.WALDir = b.TempDir()
+		opts.Fsync = policy
+		opts.CheckpointEvery = -1
+	}
+	tool := core.New(db, opts)
+	if err := tool.Install(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tool.AddAssertion(tpch.AssertionAtLeastOneLineItem); err != nil {
+		b.Fatal(err)
+	}
+	if err := gen.PrewarmIndexes(); err != nil {
+		b.Fatal(err)
+	}
+	if durable {
+		if err := tool.EnableDurability(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tool, gen
+}
+
+// BenchmarkSafeCommitWAL measures the commit-latency cost of durability:
+// the BenchmarkSafeCommitApply cycle (stage → check → apply) with the WAL
+// off and with it on under each fsync policy. The off/wal-fsync-off delta
+// is the pure encode+append overhead; wal-fsync-always adds one fsync per
+// commit, the full durability guarantee. Recorded under "durability" in
+// BENCH_safecommit.json (make bench-wal).
+func BenchmarkSafeCommitWAL(b *testing.B) {
+	variants := []struct {
+		name    string
+		durable bool
+		policy  wal.SyncPolicy
+	}{
+		{"off", false, wal.SyncAlways},
+		{"wal-fsync-off", true, wal.SyncOff},
+		{"wal-fsync-interval", true, wal.SyncInterval},
+		{"wal-fsync-always", true, wal.SyncAlways},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			tool, gen := walBenchTool(b, v.durable, v.policy)
+			defer tool.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				u, err := gen.CleanUpdateMB(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := u.Stage(tool.DB()); err != nil {
+					b.Fatal(err)
+				}
+				res, err := tool.SafeCommit()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Committed {
+					b.Fatal("clean update rejected")
+				}
+			}
+			b.StopTimer()
 		})
 	}
 }

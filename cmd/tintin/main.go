@@ -6,14 +6,20 @@
 // Usage:
 //
 //	tintin [-tpch n] [-script file] [-workers n] [-split dur] [-trace] [-trace-slow dur]
+//	       [-db file] [-wal dir] [-fsync always|interval|off]
 //
 // With -tpch n, a TPC-H database with n*1000 orders is pre-loaded.
 // -workers enables the parallel commit-check scheduler; -split sets its
 // intra-view split threshold. -trace records a span tree per safeCommit
 // (readable via \trace); -trace-slow additionally promotes traces slower
-// than the given duration to a JSON line on stderr. Statements are read
-// from the script file (or stdin), separated by semicolons. Besides SQL,
-// the shell accepts meta commands:
+// than the given duration to a JSON line on stderr.
+//
+// -db names a snapshot file: loaded on start when it exists, saved on
+// exit. -wal enables the durability subsystem: every committed batch is
+// written to a write-ahead log under the directory (fsynced per -fsync)
+// and the state is recovered — snapshot plus WAL replay — on the next
+// start. Statements are read from the script file (or stdin), separated
+// by semicolons. Besides SQL, the shell accepts meta commands:
 //
 //	\install             create event tables and enable capture
 //	\assertions          list compiled assertions
@@ -24,6 +30,8 @@
 //	\stats [scrub]       compilation statistics plus runtime metrics
 //	\trace [scrub]       show the last safeCommit's span tree
 //	\tables              list tables with row counts
+//	\save FILE           save the full tool state (db + assertions) to FILE
+//	\load FILE           replace the session with the state saved in FILE
 //	\quit                exit
 //
 // "scrub" replaces nondeterministic values (durations, worker ids) with
@@ -45,6 +53,7 @@ import (
 	"tintin/internal/sqlparser"
 	"tintin/internal/storage"
 	"tintin/internal/tpch"
+	"tintin/internal/wal"
 )
 
 func main() {
@@ -63,22 +72,17 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	split := fs.Duration("split", 0, "intra-view split threshold (0 = auto, <0 = off)")
 	trace := fs.Bool("trace", false, "record a span tree per safeCommit (see \\trace)")
 	traceSlow := fs.Duration("trace-slow", 0, "promote traces slower than this to stderr (implies -trace)")
+	dbPath := fs.String("db", "", "snapshot file: loaded on start when present, saved on exit")
+	walDir := fs.String("wal", "", "durability directory: WAL + checkpoints, recovered on start")
+	fsync := fs.String("fsync", "always", "WAL fsync policy: always, interval or off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	var db *storage.DB
-	if *tpchOrders > 0 {
-		var err error
-		db, _, err = tpch.NewDatabase("tpc", tpch.ScaleOrders(fmt.Sprintf("%dk", *tpchOrders), *tpchOrders*1000), *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "loaded TPC-H: %d orders, %d line items\n",
-			db.MustTable("orders").Len(), db.MustTable("lineitem").Len())
-	} else {
-		db = storage.NewDB("db")
+	policy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		return err
 	}
+
 	opts := core.DefaultOptions()
 	opts.Workers = *workers
 	opts.SplitThreshold = *split
@@ -87,7 +91,65 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	opts.Metrics = obs.NewRegistry()
 	opts.Trace = *trace || *traceSlow > 0
 	opts.SlowTrace = *traceSlow
-	tool := core.New(db, opts)
+	opts.WALDir = *walDir
+	opts.Fsync = policy
+
+	// build constructs the fresh-start tool: the -db snapshot when one
+	// exists, else TPC-H or an empty database. With -wal, OpenDurable calls
+	// it only when the directory holds no prior state.
+	build := func() (*core.Tool, error) {
+		if *dbPath != "" {
+			f, err := os.Open(*dbPath)
+			if err == nil {
+				defer f.Close()
+				tool, err := core.LoadTool(f, opts)
+				if err != nil {
+					return nil, fmt.Errorf("loading %s: %w", *dbPath, err)
+				}
+				s := tool.Stats()
+				fmt.Fprintf(out, "loaded %s: %d assertion(s), %d table(s)\n", *dbPath, s.Assertions, len(tool.DB().TableNames()))
+				return tool, nil
+			}
+			if !os.IsNotExist(err) {
+				return nil, err
+			}
+		}
+		var db *storage.DB
+		if *tpchOrders > 0 {
+			var err error
+			db, _, err = tpch.NewDatabase("tpc", tpch.ScaleOrders(fmt.Sprintf("%dk", *tpchOrders), *tpchOrders*1000), *seed)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(out, "loaded TPC-H: %d orders, %d line items\n",
+				db.MustTable("orders").Len(), db.MustTable("lineitem").Len())
+		} else {
+			db = storage.NewDB("db")
+		}
+		return core.New(db, opts), nil
+	}
+
+	s := &session{opts: opts}
+	if *walDir != "" {
+		recovered := true
+		s.tool, err = core.OpenDurable(opts, func() (*core.Tool, error) {
+			recovered = false
+			return build()
+		})
+		if err != nil {
+			return err
+		}
+		if recovered {
+			st := s.tool.Stats()
+			fmt.Fprintf(out, "recovered durable state from %s: %d assertion(s), %d table(s)\n",
+				*walDir, st.Assertions, len(s.tool.DB().TableNames()))
+		}
+	} else {
+		s.tool, err = build()
+		if err != nil {
+			return err
+		}
+	}
 
 	var in io.Reader = stdin
 	if *script != "" {
@@ -98,10 +160,37 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		defer f.Close()
 		in = f
 	}
-	return shell(tool, in, out)
+	if err := shell(s, in, out); err != nil {
+		return err
+	}
+	if *dbPath != "" {
+		if err := saveTool(s.tool, *dbPath); err != nil {
+			return fmt.Errorf("saving %s: %w", *dbPath, err)
+		}
+		fmt.Fprintf(out, "saved %s\n", *dbPath)
+	}
+	return s.tool.Close()
 }
 
-func shell(tool *core.Tool, in io.Reader, out io.Writer) error {
+// session holds the shell's current tool; \load swaps it out.
+type session struct {
+	tool *core.Tool
+	opts core.Options
+}
+
+func saveTool(tool *core.Tool, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tool.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func shell(s *session, in io.Reader, out io.Writer) error {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -112,7 +201,7 @@ func shell(tool *core.Tool, in io.Reader, out io.Writer) error {
 			if trimmed == "\\quit" {
 				return nil
 			}
-			if err := meta(tool, trimmed, out); err != nil {
+			if err := meta(s, trimmed, out); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			}
 			continue
@@ -125,13 +214,13 @@ func shell(tool *core.Tool, in io.Reader, out io.Writer) error {
 		if strings.HasSuffix(trimmed, ";") {
 			stmt := buf.String()
 			buf.Reset()
-			if err := execute(tool, stmt, out); err != nil {
+			if err := execute(s.tool, stmt, out); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			}
 		}
 	}
 	if buf.Len() > 0 {
-		if err := execute(tool, buf.String(), out); err != nil {
+		if err := execute(s.tool, buf.String(), out); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
 	}
@@ -183,9 +272,41 @@ func printResult(res *engine.ExecResult, out io.Writer) {
 	}
 }
 
-func meta(tool *core.Tool, cmd string, out io.Writer) error {
+func meta(s *session, cmd string, out io.Writer) error {
+	tool := s.tool
 	fields := strings.Fields(cmd)
 	switch fields[0] {
+	case "\\save":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\save FILE")
+		}
+		if err := saveTool(tool, fields[1]); err != nil {
+			return err
+		}
+		st := tool.Stats()
+		fmt.Fprintf(out, "saved %s: %d assertion(s), %d table(s)\n", fields[1], st.Assertions, len(tool.DB().TableNames()))
+		return nil
+
+	case "\\load":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\load FILE")
+		}
+		if tool.Durable() {
+			return fmt.Errorf("\\load is not available in a -wal session; restart without -wal to load a snapshot")
+		}
+		f, err := os.Open(fields[1])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		loaded, err := core.LoadTool(f, s.opts)
+		if err != nil {
+			return err
+		}
+		s.tool = loaded
+		st := loaded.Stats()
+		fmt.Fprintf(out, "loaded %s: %d assertion(s), %d table(s)\n", fields[1], st.Assertions, len(loaded.DB().TableNames()))
+		return nil
 	case "\\install":
 		if err := tool.Install(); err != nil {
 			return err

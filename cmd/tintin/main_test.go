@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -144,6 +145,146 @@ func TestExplainGolden(t *testing.T) {
 	}
 	if out != string(want) {
 		t.Fatalf("\\explain output drifted from %s (set UPDATE_GOLDEN=1 to regenerate)\n--- got ---\n%s", golden, out)
+	}
+}
+
+const persistScript = `
+CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, o_totalprice REAL);
+CREATE TABLE lineitem (
+  l_orderkey INTEGER NOT NULL,
+  l_linenumber INTEGER NOT NULL,
+  PRIMARY KEY (l_orderkey, l_linenumber)
+);
+\install
+CREATE ASSERTION everyOrderHasLines CHECK(
+  NOT EXISTS(
+    SELECT * FROM orders AS o
+    WHERE NOT EXISTS (
+      SELECT * FROM lineitem AS l
+      WHERE l.l_orderkey = o.o_orderkey)));
+INSERT INTO orders VALUES (1, 10.5);
+INSERT INTO lineitem VALUES (1, 1);
+CALL safeCommit;
+\save snap.tdb
+INSERT INTO orders VALUES (2, 20.0);
+INSERT INTO lineitem VALUES (2, 1);
+CALL safeCommit;
+SELECT o_orderkey FROM orders;
+\load snap.tdb
+SELECT o_orderkey FROM orders;
+INSERT INTO orders VALUES (9, 90.0);
+CALL safeCommit;
+INSERT INTO orders VALUES (2, 20.0);
+INSERT INTO lineitem VALUES (2, 1);
+CALL safeCommit;
+\tables
+\quit
+`
+
+// TestSaveLoadGolden pins the \save / \load flow byte for byte: the state
+// saved after the first commit is reloaded mid-session, rolling back a
+// later commit, and the restored tool still enforces the assertion (the
+// line-less order 9 is rejected, the well-formed order 2 re-commits).
+// Regenerate with UPDATE_GOLDEN=1.
+func TestSaveLoadGolden(t *testing.T) {
+	golden, err := filepath.Abs("testdata/persist.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	out := runShell(t, persistScript)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Fatalf("\\save/\\load output drifted from %s (set UPDATE_GOLDEN=1 to regenerate)\n--- got ---\n%s", golden, out)
+	}
+}
+
+// TestDBFlagRoundTrip runs the shell twice against the same -db file: the
+// first session builds schema + assertion + data and saves on exit, the
+// second loads it, still enforces the assertion, and saves again.
+func TestDBFlagRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.tdb")
+
+	out := runShell(t, demoScript, "-db", path)
+	if !strings.Contains(out, "saved "+path) {
+		t.Fatalf("first run missing save banner:\n%s", out)
+	}
+
+	out = runShell(t, `
+SELECT o_orderkey FROM orders;
+INSERT INTO orders VALUES (7, 70.0);
+CALL safeCommit;
+INSERT INTO orders VALUES (7, 70.0);
+INSERT INTO lineitem VALUES (7, 1, 2);
+CALL safeCommit;
+\quit
+`, "-db", path)
+	if !strings.Contains(out, "loaded "+path+": 1 assertion(s)") {
+		t.Errorf("second run missing load banner:\n%s", out)
+	}
+	if !strings.Contains(out, "(2 rows)") {
+		t.Errorf("persisted rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "rejected: 1 assertion violation(s)") {
+		t.Errorf("reloaded assertion not enforced:\n%s", out)
+	}
+	if !strings.Contains(out, "committed") {
+		t.Errorf("clean commit after reload failed:\n%s", out)
+	}
+}
+
+// TestWALFlagRecovery runs the shell twice against the same -wal directory:
+// the second session must recover the committed state by snapshot + WAL
+// replay, keep enforcing the assertion, and refuse \load.
+func TestWALFlagRecovery(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+
+	out := runShell(t, demoScript, "-wal", dir)
+	if strings.Contains(out, "recovered durable state") {
+		t.Fatalf("fresh run claims recovery:\n%s", out)
+	}
+
+	out = runShell(t, `
+SELECT o_orderkey FROM orders;
+\load nowhere.tdb
+INSERT INTO orders VALUES (7, 70.0);
+CALL safeCommit;
+\quit
+`, "-wal", dir)
+	if !strings.Contains(out, "recovered durable state from "+dir+": 1 assertion(s)") {
+		t.Errorf("recovery banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(2 rows)") {
+		t.Errorf("recovered rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "not available in a -wal session") {
+		t.Errorf("\\load not refused under -wal:\n%s", out)
+	}
+	if !strings.Contains(out, "rejected: 1 assertion violation(s)") {
+		t.Errorf("recovered assertion not enforced:\n%s", out)
+	}
+}
+
+func TestBadFsyncFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fsync", "sometimes"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("bad -fsync accepted")
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tintinbench [-exp e1|e2|e3|e4|all] [-orders-per-gb n] [-gbs 1,2,3,4,5] [-mbs 1,5] [-quick] [-workers n] [-perview] [-metrics] [-trace-slow dur]
+//	tintinbench [-exp e1|e2|e3|e4|all] [-orders-per-gb n] [-gbs 1,2,3,4,5] [-mbs 1,5] [-quick] [-workers n] [-perview] [-metrics] [-trace-slow dur] [-wal dir] [-fsync policy]
 //
 // -workers > 1 runs every safeCommit check through the parallel
 // commit-check scheduler (internal/sched) with that many workers; results
@@ -20,6 +20,11 @@
 // same catalog cmd/tintin's \stats shows. -trace-slow enables commit
 // tracing and promotes any safeCommit slower than the given duration to a
 // JSON span tree on stderr, pointing at the grid cells that misbehave.
+//
+// -wal runs every experiment tool with the durability subsystem enabled
+// (per-tool WAL directories under the given path), so the reported commit
+// times include the WAL append and the fsync cost selected by -fsync
+// (always, interval or off).
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"tintin/internal/harness"
 	"tintin/internal/obs"
+	"tintin/internal/wal"
 )
 
 func main() {
@@ -52,12 +58,17 @@ func run(args []string) error {
 	perview := fs.Bool("perview", false, "print the per-view check-duration skew table instead of the experiments (which views dominate, what the splitter partitions)")
 	metrics := fs.Bool("metrics", false, "dump the metrics registry (Prometheus text format) after the run")
 	traceSlow := fs.Duration("trace-slow", 0, "trace commits and promote those slower than this to a JSON span tree on stderr (0 = off)")
+	walDir := fs.String("wal", "", "enable durability: per-tool WAL directories under this path, appends on the timed commit path")
+	fsync := fs.String("fsync", "always", "WAL fsync policy when -wal is set: always, interval or off")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
 		return err
 	}
 
 	cfg := harness.Config{OrdersPerGB: *ordersPerGB, Seed: *seed}
-	var err error
 	if cfg.GBs, err = parseInts(*gbs); err != nil {
 		return fmt.Errorf("-gbs: %w", err)
 	}
@@ -69,6 +80,13 @@ func run(args []string) error {
 	}
 	cfg.Workers = *workers
 	cfg.SlowTrace = *traceSlow
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			return fmt.Errorf("-wal: %w", err)
+		}
+		cfg.WALDir = *walDir
+		cfg.Fsync = policy
+	}
 	if *metrics {
 		cfg.Metrics = obs.NewRegistry()
 	}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"tintin/internal/sqlparser"
 	"tintin/internal/sqltypes"
 	"tintin/internal/storage"
+	"tintin/internal/wal"
 )
 
 // Options configures the tool; the zero value disables every optimization.
@@ -80,6 +82,23 @@ type Options struct {
 	// subtask execution so CPU profiles attribute worker samples. Off by
 	// default: label application allocates.
 	ProfileLabels bool
+	// WALDir roots the durability subsystem: a write-ahead log of applied
+	// event batches plus snapshot checkpoints under this directory. Empty
+	// (the default) keeps the tool purely in-memory. Attach with
+	// OpenDurable (recover-or-initialize) or EnableDurability (fresh).
+	WALDir string
+	// Fsync is the WAL fsync policy (wal.SyncAlways, the zero value, by
+	// default); FsyncInterval bounds the loss window under
+	// wal.SyncInterval (0 = 100ms).
+	Fsync         wal.SyncPolicy
+	FsyncInterval time.Duration
+	// CheckpointEvery snapshots and truncates the log after this many
+	// applied batches. 0 = every 256 batches; negative = only on Close or
+	// an explicit Checkpoint call.
+	CheckpointEvery int
+	// FaultInjector, when set, simulates crashes at named WAL points
+	// (tests only; see wal.Injector).
+	FaultInjector *wal.Injector
 }
 
 // DefaultOptions enables everything, matching the paper's tool.
@@ -172,6 +191,9 @@ type Tool struct {
 	met       toolMetrics
 	tracer    *obs.Tracer
 	batchSpan *obs.Span
+
+	// wal is the attached durability state (nil = in-memory only).
+	wal *walState
 }
 
 // New creates a tool over db with the given options.
@@ -651,6 +673,21 @@ func (t *Tool) safeCommit(root *obs.Span) (*CommitResult, error) {
 		return nil, err
 	}
 	if len(res.Violations) == 0 {
+		// Durability point: the validated batch is appended to the WAL
+		// (and fsynced, per policy) before the in-memory apply, so an
+		// acknowledged commit survives a crash and an unacknowledged one
+		// leaves no trace. Validation runs first — the log must never
+		// hold a record ApplyEvents would refuse on replay.
+		if t.wal != nil && t.db.HasPendingEvents() {
+			if err := t.db.ValidateEvents(); err != nil {
+				t.db.TruncateEvents()
+				return nil, err
+			}
+			if err := t.walAppend(root); err != nil {
+				t.db.TruncateEvents()
+				return nil, fmt.Errorf("tintin: wal append: %w", err)
+			}
+		}
 		as := root.Child("apply")
 		applyStart := time.Now()
 		err := t.db.ApplyEvents()
@@ -660,6 +697,9 @@ func (t *Tool) safeCommit(root *obs.Span) (*CommitResult, error) {
 		}
 		t.met.applyNS.ObserveDuration(time.Since(applyStart))
 		res.Committed = true
+		if err := t.maybeCheckpoint(root); err != nil {
+			return nil, err
+		}
 		return res, nil
 	}
 	ts := root.Child("truncate")
@@ -707,7 +747,11 @@ func (t *Tool) Save(w io.Writer) error {
 	for _, n := range t.order {
 		sqls = append(sqls, t.asserts[n].SQL)
 	}
-	return gob.NewEncoder(w).Encode(sqls)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sqls); err != nil {
+		return err
+	}
+	return storage.WriteBlock(w, storage.MagicAssertions, buf.Bytes())
 }
 
 // LoadTool restores a tool saved with Save: the database is reconstructed
@@ -717,8 +761,12 @@ func LoadTool(r io.Reader, opts Options) (*Tool, error) {
 	if err != nil {
 		return nil, err
 	}
+	payload, err := storage.ReadBlock(r, storage.MagicAssertions)
+	if err != nil {
+		return nil, err
+	}
 	var sqls []string
-	if err := gob.NewDecoder(r).Decode(&sqls); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&sqls); err != nil {
 		return nil, fmt.Errorf("tintin: snapshot assertions: %w", err)
 	}
 	// Views are regenerated by recompiling; drop the persisted copies.

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"tintin/internal/core"
 	"tintin/internal/obs"
 	"tintin/internal/tpch"
+	"tintin/internal/wal"
 )
 
 // Config parameterizes the experiments.
@@ -49,6 +51,14 @@ type Config struct {
 	// stderr (cmd/tintinbench -trace-slow) — the way to see the span
 	// decomposition of exactly the grid cells that misbehave.
 	SlowTrace time.Duration
+	// WALDir, when set, runs every experiment tool with the durability
+	// subsystem enabled: each tool gets a fresh WAL directory under this
+	// path, and every committed batch pays the append (+ fsync, per Fsync)
+	// on the timed path (cmd/tintinbench -wal).
+	WALDir string
+	// Fsync is the WAL fsync policy when WALDir is set; the zero value is
+	// wal.SyncAlways, the durable default.
+	Fsync wal.SyncPolicy
 }
 
 // options builds the tool options for this config (the paper's defaults
@@ -155,11 +165,22 @@ type cell struct {
 }
 
 // setup builds a database at the given scale with the tool installed and the
-// provided assertions compiled.
+// provided assertions compiled. With cfg.WALDir set, the tool is made
+// durable (fresh per-tool WAL directory) after installation, so commits in
+// the experiment carry the append/fsync cost and an initial checkpoint
+// exists before any timed work.
 func setup(cfg Config, gb int, opts core.Options, assertions []string) (*core.Tool, *tpch.Generator, error) {
 	db, gen, err := tpch.NewDatabase("tpc", cfg.scale(gb), cfg.Seed)
 	if err != nil {
 		return nil, nil, err
+	}
+	if cfg.WALDir != "" {
+		dir, err := os.MkdirTemp(cfg.WALDir, "tool-")
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.WALDir = dir
+		opts.Fsync = cfg.Fsync
 	}
 	tool := core.New(db, opts)
 	if err := tool.Install(); err != nil {
@@ -172,6 +193,11 @@ func setup(cfg Config, gb int, opts core.Options, assertions []string) (*core.To
 	}
 	if err := gen.PrewarmIndexes(); err != nil {
 		return nil, nil, err
+	}
+	if cfg.WALDir != "" {
+		if err := tool.EnableDurability(); err != nil {
+			return nil, nil, err
+		}
 	}
 	return tool, gen, nil
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -80,9 +81,10 @@ func fromWire(w wireValue) (sqltypes.Value, error) {
 }
 
 // Save writes a complete snapshot of the database (schemas, rows, views,
-// capture flag) to w. Together with Load it implements the demo's
-// persistence story: TINTIN's generated artifacts survive in the database
-// and the tool can be "disconnected".
+// capture flag) to w, framed as a checksummed block (see WriteBlock) so
+// torn or corrupted files are detected on load. Together with Load it
+// implements the demo's persistence story: TINTIN's generated artifacts
+// survive in the database and the tool can be "disconnected".
 func (db *DB) Save(w io.Writer) error {
 	out := wireDB{Name: db.Name, Capture: db.capture}
 	for _, name := range db.TableNames() {
@@ -109,14 +111,23 @@ func (db *DB) Save(w io.Writer) error {
 		out.ViewNames = append(out.ViewNames, vn)
 		out.ViewSQL = append(out.ViewSQL, sqlparser.FormatSelect(db.views[vn]))
 	}
-	return gob.NewEncoder(w).Encode(&out)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&out); err != nil {
+		return err
+	}
+	return WriteBlock(w, MagicDB, buf.Bytes())
 }
 
 // Load reads a snapshot written by Save and returns the reconstructed
-// database.
+// database. Truncated or corrupted files fail with ErrSnapshotTruncated /
+// ErrSnapshotCorrupt before any gob decoding is attempted.
 func Load(r io.Reader) (*DB, error) {
+	payload, err := ReadBlock(r, MagicDB)
+	if err != nil {
+		return nil, err
+	}
 	var in wireDB
-	if err := gob.NewDecoder(r).Decode(&in); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&in); err != nil {
 		return nil, fmt.Errorf("storage: snapshot: %w", err)
 	}
 	db := NewDB(in.Name)

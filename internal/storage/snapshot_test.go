@@ -2,6 +2,9 @@ package storage
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
 	"testing"
 
 	"tintin/internal/sqlparser"
@@ -70,5 +73,88 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestSnapshotBadInput(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
 		t.Error("garbage accepted")
+	}
+}
+
+// corruptionFixture returns a valid snapshot byte stream.
+func corruptionFixture(t *testing.T) []byte {
+	t.Helper()
+	db := newTestDB(t)
+	for i := 1; i <= 20; i++ {
+		if err := db.Insert("orders", row(i, i, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotTruncationDetected: every proper prefix of a snapshot must
+// fail with the truncation sentinel, never a raw gob error or a success.
+func TestSnapshotTruncationDetected(t *testing.T) {
+	data := corruptionFixture(t)
+	for _, cut := range []int{0, 3, 12, 13, 20, len(data) / 2, len(data) - 5, len(data) - 1} {
+		if _, err := Load(bytes.NewReader(data[:cut])); !errors.Is(err, ErrSnapshotTruncated) {
+			t.Errorf("Load(prefix %d/%d) = %v, want ErrSnapshotTruncated", cut, len(data), err)
+		}
+	}
+}
+
+// TestSnapshotBitFlipDetected: flipping any byte after the magic must trip
+// the checksum (or, within the length field, read as truncation); the
+// error message carries the "tintin: snapshot" prefix users grep for.
+func TestSnapshotBitFlipDetected(t *testing.T) {
+	data := corruptionFixture(t)
+	for _, off := range []int{4, 5, 9, 13, 40, len(data) / 2, len(data) - 2} {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		_, err := Load(bytes.NewReader(mut))
+		if err == nil {
+			t.Errorf("Load with byte %d flipped succeeded", off)
+			continue
+		}
+		if !errors.Is(err, ErrSnapshotCorrupt) && !errors.Is(err, ErrSnapshotTruncated) {
+			t.Errorf("Load with byte %d flipped = %v, want a snapshot sentinel", off, err)
+		}
+		if !strings.Contains(err.Error(), "tintin: snapshot") {
+			t.Errorf("error %q lacks the tintin: snapshot prefix", err)
+		}
+	}
+}
+
+// TestSnapshotCorruptLengthBounded: a length field inflated to 1<<60 must
+// fail as truncation without attempting the giant allocation.
+func TestSnapshotCorruptLengthBounded(t *testing.T) {
+	data := append([]byte(nil), corruptionFixture(t)...)
+	binary.LittleEndian.PutUint64(data[5:13], 1<<60)
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrSnapshotTruncated) {
+		t.Fatalf("Load = %v, want ErrSnapshotTruncated", err)
+	}
+}
+
+func TestBlockRoundTripComposes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBlock(&buf, "AAAA", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBlock(&buf, "BBBB", nil); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	a, err := ReadBlock(r, "AAAA")
+	if err != nil || string(a) != "first" {
+		t.Fatalf("block A = %q, %v", a, err)
+	}
+	b, err := ReadBlock(r, "BBBB")
+	if err != nil || len(b) != 0 {
+		t.Fatalf("block B = %q, %v", b, err)
+	}
+	// Wrong expected magic is corruption, not truncation.
+	r2 := bytes.NewReader(buf.Bytes())
+	if _, err := ReadBlock(r2, "BBBB"); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("magic mismatch = %v, want ErrSnapshotCorrupt", err)
 	}
 }
