@@ -1,15 +1,24 @@
 GO ?= go
 
-.PHONY: check build test vet test-race fuzz bench bench-safecommit bench-parallel bench-obs bench-wal e1
+.PHONY: check build test vet lint test-race fuzz bench bench-safecommit bench-parallel bench-obs bench-wal e1
 
-## check: the tier-1 gate — vet, build, and test everything.
-check: vet build test
+## check: the tier-1 gate — vet, lint, build, and test everything.
+check: vet lint build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## lint: the tintinvet suite — six custom go/analysis analyzers that
+## mechanize the commit-path invariants (no plan compilation or metrics
+## lookups on the hot path, Freeze/Thaw pairing, error-prefix convention,
+## NULL-safe Value comparison, engine determinism). Violations are
+## suppressed only by a reasoned //tintin:allow directive.
+lint:
+	$(GO) build -o bin/tintinvet ./cmd/tintinvet
+	$(GO) vet -vettool=bin/tintinvet ./...
 
 test:
 	$(GO) test ./...
@@ -20,10 +29,11 @@ test:
 ## intra-view partitioned-check tests (partition parity + concurrent
 ## partitioned commits), the observability tests (registry/tracer
 ## primitives plus concurrent group commits against Stats()/trace-ring
-## readers), and the WAL/fault-injection tests (crash-recovery matrix,
-## torn-tail handling, fsync policies).
+## readers), the WAL/fault-injection tests (crash-recovery matrix,
+## torn-tail handling, fsync policies), the differential-oracle corpus
+## replays, and the parser round-trip seeds.
 test-race:
-	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/ ./internal/sched/ ./internal/obs/ ./internal/wal/
+	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/ ./internal/sched/ ./internal/obs/ ./internal/wal/ ./internal/difftest/ ./internal/sqlparser/
 
 ## fuzz: budgeted smoke run of the fuzz targets — the differential oracle
 ## (incremental vs baseline verdicts across all commit-check modes), the

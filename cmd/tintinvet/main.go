@@ -1,0 +1,26 @@
+// Command tintinvet is the repo's custom static-analysis suite, packaged
+// as a vet tool. It mechanizes the commit-path invariants that were
+// previously enforced only by individual tests and benchmarks: see
+// internal/lint for the analyzer catalog.
+//
+// Run it through the go command so facts propagate across packages:
+//
+//	go build -o bin/tintinvet ./cmd/tintinvet
+//	go vet -vettool=bin/tintinvet ./...
+//
+// or simply `make lint`. Suppress a diagnostic with
+//
+//	//tintin:allow <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"tintin/internal/lint"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

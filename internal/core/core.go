@@ -343,6 +343,7 @@ func (t *Tool) AddAssertionAST(ca *sqlparser.CreateAssertion, sql string) (*Asse
 			return nil, err
 		}
 		a.Views = append(a.Views, vname)
+		t.registerViewMetrics(vname)
 		if err := t.compileView(vname); err != nil {
 			return nil, fmt.Errorf("tintin: compiling %s: %w", vname, err)
 		}
@@ -399,6 +400,7 @@ func (t *Tool) DropAssertion(name string) error {
 			return err
 		}
 		t.eng.ForgetPlan(v)
+		delete(t.met.perView, v)
 	}
 	delete(t.asserts, name)
 	for i, n := range t.order {
@@ -530,6 +532,7 @@ func (t *Tool) rowLimit() int {
 func (t *Tool) checkSerial(checks []viewCheck, res *CommitResult, parent *obs.Span) error {
 	limit := t.rowLimit()
 	for _, c := range checks {
+		//tintin:allow hotpathcompile cache hit for installed views; TestSafeCommitUsesPlanCache pins zero commit-time compiles
 		p, err := t.eng.PrepareView(c.view)
 		if err != nil {
 			return fmt.Errorf("tintin: evaluating %s: %w", c.view, err)
@@ -538,6 +541,7 @@ func (t *Tool) checkSerial(checks []viewCheck, res *CommitResult, parent *obs.Sp
 		sp.SetAttr("view", c.view)
 		sp.SetAttr("lane", "serial")
 		start := time.Now()
+		//tintin:allow hotpathcompile re-plans only for non-cacheable plans, which opt out of the cache by design
 		if err := p.QueryLimitInto(limit, &t.checkRes); err != nil {
 			return fmt.Errorf("tintin: evaluating %s: %w", c.view, err)
 		}
@@ -575,6 +579,7 @@ func (t *Tool) checkParallel(checks []viewCheck, parts []int, res *CommitResult,
 	limit := t.rowLimit()
 	tasks := make([]sched.Task, len(checks))
 	for i, c := range checks {
+		//tintin:allow hotpathcompile cache hit for installed views; TestSafeCommitUsesPlanCache pins zero commit-time compiles
 		p, err := t.eng.PrepareView(c.view)
 		if err != nil {
 			return fmt.Errorf("tintin: evaluating %s: %w", c.view, err)
@@ -598,6 +603,7 @@ func (t *Tool) checkParallel(checks []viewCheck, parts []int, res *CommitResult,
 	t.db.Freeze()
 	fs.End()
 	defer t.db.Thaw() // deferred: a panic escaping the pool must not leave the db frozen
+	//tintin:allow hotpathcompile the pool's serial lane re-plans non-cacheable plans only; cacheable tasks run prepared execs
 	outs := t.pool.RunSpan(tasks, parent)
 
 	for i, out := range outs {

@@ -102,22 +102,34 @@ func (t *Tool) committerMetrics() sched.CommitterMetrics {
 	}
 }
 
-// observeView feeds one measured view-check duration to the cost model and,
-// when wired, to the view's latency histogram and EWMA-estimate gauge — the
-// surface that lets operators compare the splitter's estimates against
-// actuals. Coordinator-only, like the cost model itself.
-func (t *Tool) observeView(view string, d time.Duration) {
-	t.cost.observe(view, d)
+// registerViewMetrics resolves a view's latency histogram and EWMA-estimate
+// gauge once, at assertion-registration time. Doing the registry lookups
+// here keeps observeView — which runs after every view check on the commit
+// path — lookup-free (the tintinvet obsdirect analyzer enforces this).
+func (t *Tool) registerViewMetrics(view string) {
 	if t.met.reg == nil {
 		return
 	}
+	if _, ok := t.met.perView[view]; ok {
+		return
+	}
+	t.met.perView[view] = viewMetrics{
+		checkNS: t.met.reg.Histogram(obs.Label("tintin_view_check_ns", "view", view)),
+		estNS:   t.met.reg.Gauge(obs.Label("tintin_cost_est_ns", "view", view)),
+	}
+}
+
+// observeView feeds one measured view-check duration to the cost model and,
+// when wired, to the view's latency histogram and EWMA-estimate gauge — the
+// surface that lets operators compare the splitter's estimates against
+// actuals. Coordinator-only, like the cost model itself. The instruments
+// were resolved by registerViewMetrics when the view was installed; this
+// path only reads the map.
+func (t *Tool) observeView(view string, d time.Duration) {
+	t.cost.observe(view, d)
 	vm, ok := t.met.perView[view]
 	if !ok {
-		vm = viewMetrics{
-			checkNS: t.met.reg.Histogram(obs.Label("tintin_view_check_ns", "view", view)),
-			estNS:   t.met.reg.Gauge(obs.Label("tintin_cost_est_ns", "view", view)),
-		}
-		t.met.perView[view] = vm
+		return
 	}
 	vm.checkNS.ObserveDuration(d)
 	vm.estNS.Set(int64(t.cost.estimate(view)))

@@ -235,6 +235,7 @@ func TestSafeCommitTraceTree(t *testing.T) {
 // cost model's EWMA gauges land in the registry under labeled names.
 func TestObserveViewExportsEstimates(t *testing.T) {
 	tool := newObsTool(t)
+	tool.registerViewMetrics("v_x_1") // normally done when the view is installed
 	tool.observeView("v_x_1", 100*time.Microsecond)
 	tool.observeView("v_x_1", 200*time.Microsecond)
 	snap := tool.Metrics().Snapshot()

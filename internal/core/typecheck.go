@@ -89,7 +89,7 @@ func (c *typeChecker) predicate(sc *tcScope, e sqlparser.Expr) error {
 			}
 			return comparable(l, r)
 		}
-		return fmt.Errorf("%s expression is not a condition", x.Op)
+		return fmt.Errorf("typecheck: %s expression is not a condition", x.Op)
 
 	case *sqlparser.Not:
 		return c.predicate(sc, x.E)
@@ -135,9 +135,9 @@ func (c *typeChecker) predicate(sc *tcScope, e sqlparser.Expr) error {
 		if x.Value.Kind() == sqltypes.KindBool {
 			return nil
 		}
-		return fmt.Errorf("literal %s is not a condition", x.Value)
+		return fmt.Errorf("typecheck: literal %s is not a condition", x.Value)
 	}
-	return fmt.Errorf("%s is not a condition", sqlparser.FormatExpr(e))
+	return fmt.Errorf("typecheck: %s is not a condition", sqlparser.FormatExpr(e))
 }
 
 // scalar checks a value-position expression and infers its kind.
@@ -187,7 +187,7 @@ func (c *typeChecker) scalar(sc *tcScope, e sqlparser.Expr) (tcKind, error) {
 			}
 			return tcKind{kind: sqltypes.KindFloat, known: true}, nil
 		}
-		return tcKind{}, fmt.Errorf("%s expression is not a scalar", x.Op)
+		return tcKind{}, fmt.Errorf("typecheck: %s expression is not a scalar", x.Op)
 
 	case *sqlparser.FuncCall:
 		if x.Name == "COALESCE" {
@@ -207,14 +207,14 @@ func (c *typeChecker) scalar(sc *tcScope, e sqlparser.Expr) (tcKind, error) {
 			return out, nil
 		}
 		if x.IsAggregate() {
-			return tcKind{}, fmt.Errorf("aggregate %s is only allowed as a scalar subquery projection", x.Name)
+			return tcKind{}, fmt.Errorf("typecheck: aggregate %s is only allowed as a scalar subquery projection", x.Name)
 		}
-		return tcKind{}, fmt.Errorf("unsupported function %s", x.Name)
+		return tcKind{}, fmt.Errorf("typecheck: unsupported function %s", x.Name)
 
 	case *sqlparser.ScalarSubquery:
 		return c.scalarSubquery(sc, x.Query)
 	}
-	return tcKind{}, fmt.Errorf("%s is not a scalar expression", sqlparser.FormatExpr(e))
+	return tcKind{}, fmt.Errorf("typecheck: %s is not a scalar expression", sqlparser.FormatExpr(e))
 }
 
 // selectQuery checks a full (NOT) EXISTS subquery: FROM tables resolve,
@@ -262,7 +262,7 @@ func (c *typeChecker) aggregateArgs(sc *tcScope, f *sqlparser.FuncCall) error {
 		}
 		if f.Name == "SUM" || f.Name == "AVG" {
 			if k.known && k.kind != sqltypes.KindInt && k.kind != sqltypes.KindFloat {
-				return fmt.Errorf("%s over non-numeric %s argument", f.Name, k.kind)
+				return fmt.Errorf("typecheck: %s over non-numeric %s argument", f.Name, k.kind)
 			}
 		}
 	}
@@ -284,7 +284,7 @@ func (c *typeChecker) subqueryColumn(sc *tcScope, q *sqlparser.Select) (tcKind, 
 			}
 		}
 		if q.Star || len(q.Columns) != 1 {
-			return tcKind{}, fmt.Errorf("IN subquery must project exactly one column")
+			return tcKind{}, fmt.Errorf("typecheck: IN subquery must project exactly one column")
 		}
 		k, err := c.scalar(child, q.Columns[0].Expr)
 		if err != nil {
@@ -305,7 +305,7 @@ func (c *typeChecker) subqueryColumn(sc *tcScope, q *sqlparser.Select) (tcKind, 
 // and infers the kind of its result.
 func (c *typeChecker) scalarSubquery(sc *tcScope, q *sqlparser.Select) (tcKind, error) {
 	if q.Union != nil {
-		return tcKind{}, fmt.Errorf("scalar subquery cannot use UNION")
+		return tcKind{}, fmt.Errorf("typecheck: scalar subquery cannot use UNION")
 	}
 	child, err := c.fromScope(sc, q.From)
 	if err != nil {
@@ -317,7 +317,7 @@ func (c *typeChecker) scalarSubquery(sc *tcScope, q *sqlparser.Select) (tcKind, 
 		}
 	}
 	if q.Star || len(q.Columns) != 1 {
-		return tcKind{}, fmt.Errorf("scalar subquery must project exactly one column")
+		return tcKind{}, fmt.Errorf("typecheck: scalar subquery must project exactly one column")
 	}
 	e := q.Columns[0].Expr
 	if f, ok := e.(*sqlparser.FuncCall); ok && f.IsAggregate() {
@@ -346,12 +346,12 @@ func (c *typeChecker) fromScope(sc *tcScope, from []sqlparser.TableRef) (*tcScop
 		name := strings.ToLower(tr.Table)
 		t := c.db.Table(name)
 		if t == nil {
-			return nil, fmt.Errorf("unknown table %s", tr.Table)
+			return nil, fmt.Errorf("typecheck: unknown table %s", tr.Table)
 		}
 		alias := strings.ToLower(tr.EffectiveAlias())
 		for _, e := range child.entries {
 			if e.alias == alias {
-				return nil, fmt.Errorf("duplicate alias %s in FROM", alias)
+				return nil, fmt.Errorf("typecheck: duplicate alias %s in FROM", alias)
 			}
 		}
 		child.entries = append(child.entries, tcEntry{alias: alias, schema: t.Schema()})
@@ -374,7 +374,7 @@ func (c *typeChecker) resolveColumn(sc *tcScope, cr *sqlparser.ColumnRef) (tcKin
 				}
 				ci := e.schema.ColumnIndex(name)
 				if ci < 0 {
-					return tcKind{}, fmt.Errorf("%s has no column %s", qual, name)
+					return tcKind{}, fmt.Errorf("typecheck: %s has no column %s", qual, name)
 				}
 				return tcKind{kind: e.schema.Columns[ci].Type, known: true}, nil
 			}
@@ -384,7 +384,7 @@ func (c *typeChecker) resolveColumn(sc *tcScope, cr *sqlparser.ColumnRef) (tcKin
 		for _, e := range cur.entries {
 			if ci := e.schema.ColumnIndex(name); ci >= 0 {
 				if hit != nil {
-					return tcKind{}, fmt.Errorf("ambiguous column %s", name)
+					return tcKind{}, fmt.Errorf("typecheck: ambiguous column %s", name)
 				}
 				hit = &e.schema.Columns[ci]
 			}
@@ -394,9 +394,9 @@ func (c *typeChecker) resolveColumn(sc *tcScope, cr *sqlparser.ColumnRef) (tcKin
 		}
 	}
 	if qual != "" {
-		return tcKind{}, fmt.Errorf("unknown table or alias %s", qual)
+		return tcKind{}, fmt.Errorf("typecheck: unknown table or alias %s", qual)
 	}
-	return tcKind{}, fmt.Errorf("unknown column %s", name)
+	return tcKind{}, fmt.Errorf("typecheck: unknown column %s", name)
 }
 
 // comparable reports whether two inferred kinds can be compared: NULL with
@@ -413,7 +413,7 @@ func comparable(a, b tcKind) error {
 	if a.kind == b.kind {
 		return nil
 	}
-	return fmt.Errorf("cannot compare %s with %s", a.kind, b.kind)
+	return fmt.Errorf("typecheck: cannot compare %s with %s", a.kind, b.kind)
 }
 
 // numeric rejects a non-numeric operand of an arithmetic operator.
@@ -421,5 +421,5 @@ func numeric(k tcKind, op string) error {
 	if !k.known || k.kind == sqltypes.KindInt || k.kind == sqltypes.KindFloat {
 		return nil
 	}
-	return fmt.Errorf("operator %s requires numeric operands, got %s", op, k.kind)
+	return fmt.Errorf("typecheck: operator %s requires numeric operands, got %s", op, k.kind)
 }

@@ -43,9 +43,9 @@ func TestTypeCheckRejects(t *testing.T) {
 		{"duplicate-alias", "CREATE ASSERTION a CHECK (NOT EXISTS (SELECT * FROM emp AS e, dept AS e WHERE e.id = 1))",
 			"duplicate alias e"},
 		{"in-list-kind", "CREATE ASSERTION a CHECK (NOT EXISTS (SELECT * FROM emp WHERE emp.name IN (1, 2)))",
-			"IN list: cannot compare VARCHAR with INTEGER"},
+			"IN list: typecheck: cannot compare VARCHAR with INTEGER"},
 		{"in-subquery-kind", "CREATE ASSERTION a CHECK (NOT EXISTS (SELECT * FROM emp WHERE emp.name IN (SELECT dept.id FROM dept)))",
-			"IN subquery: cannot compare VARCHAR with INTEGER"},
+			"IN subquery: typecheck: cannot compare VARCHAR with INTEGER"},
 		{"sum-over-varchar", "CREATE ASSERTION a CHECK ((SELECT SUM(emp.name) FROM emp) < 10)",
 			"SUM over non-numeric VARCHAR"},
 		{"sum-vs-varchar-bound", "CREATE ASSERTION a CHECK ((SELECT SUM(emp.salary) FROM emp) < 'z')",

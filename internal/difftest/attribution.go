@@ -153,11 +153,11 @@ func RunAttribution(data []byte) error {
 			}
 			want := expectedSet(deltas[s])
 			if acks[s].Committed != (len(want) == 0) {
-				return fmt.Errorf("round %d session %d: committed=%v, expected %v (delta: %s)",
+				return fmt.Errorf("difftest: round %d session %d: committed=%v, expected %v (delta: %s)",
 					round, s, acks[s].Committed, len(want) == 0, fmtOps(deltas[s].Ops))
 			}
 			if d := diffSets(violatedAssertions(acks[s]), want); d != "" {
-				return fmt.Errorf("round %d session %d: attributed verdicts differ: %s (delta: %s)",
+				return fmt.Errorf("difftest: round %d session %d: attributed verdicts differ: %s (delta: %s)",
 					round, s, d, fmtOps(deltas[s].Ops))
 			}
 		}
@@ -193,7 +193,7 @@ func RunAttribution(data []byte) error {
 		})
 		sort.Strings(got)
 		if strings.Join(got, " ") != strings.Join(want, " ") {
-			return fmt.Errorf("round %d: state mismatch:\ngot:  %s\nwant: %s",
+			return fmt.Errorf("difftest: round %d: state mismatch:\ngot:  %s\nwant: %s",
 				round, strings.Join(got, " "), strings.Join(want, " "))
 		}
 	}

@@ -266,7 +266,7 @@ func Run(data []byte) error {
 	for _, m := range append(modes[1:], group) {
 		for _, sql := range accepted {
 			if _, err := m.tool.AddAssertion(sql); err != nil {
-				return fmt.Errorf("%s: assertion accepted by serial but rejected: %v\n%s", m.name, err, sql)
+				return fmt.Errorf("difftest: %s: assertion accepted by serial but rejected: %v\n%s", m.name, err, sql)
 			}
 		}
 	}
@@ -326,7 +326,7 @@ func Run(data []byte) error {
 
 		// (1) incremental vs baseline on violated-assertion sets.
 		if d := diffSets(violatedAssertions(serialRes), blSet); d != "" {
-			return fmt.Errorf("batch %d: serial vs baseline verdicts differ: %s\nassertions:\n%s\nops: %s",
+			return fmt.Errorf("difftest: batch %d: serial vs baseline verdicts differ: %s\nassertions:\n%s\nops: %s",
 				b, d, strings.Join(accepted, "\n"), fmtOps(ops))
 		}
 
@@ -344,18 +344,18 @@ func Run(data []byte) error {
 
 		// (4) group commit agrees with serial on verdict and assertions.
 		if groupRes.Committed != serialRes.Committed {
-			return fmt.Errorf("batch %d: group committed=%v, serial committed=%v\nops: %s",
+			return fmt.Errorf("difftest: batch %d: group committed=%v, serial committed=%v\nops: %s",
 				b, groupRes.Committed, serialRes.Committed, fmtOps(ops))
 		}
 		if d := diffSets(violatedAssertions(serialRes), violatedAssertions(groupRes)); d != "" {
-			return fmt.Errorf("batch %d: serial vs group verdicts differ: %s", b, d)
+			return fmt.Errorf("difftest: batch %d: serial vs group verdicts differ: %s", b, d)
 		}
 
 		// (5) all five databases hold identical committed state.
 		want := snapshot(serial.db)
 		for _, m := range append(modes[1:], group) {
 			if got := snapshot(m.db); got != want {
-				return fmt.Errorf("batch %d: %s state diverged:\n%s\nvs serial:\n%s", b, m.name, got, want)
+				return fmt.Errorf("difftest: batch %d: %s state diverged:\n%s\nvs serial:\n%s", b, m.name, got, want)
 			}
 		}
 
@@ -534,15 +534,15 @@ func viewRows(res *core.CommitResult) map[string][]string {
 // multisets (order within a view is not significant across schedules).
 func sameViolations(a, b *core.CommitResult) error {
 	if a.Committed != b.Committed {
-		return fmt.Errorf("committed %v vs %v", a.Committed, b.Committed)
+		return fmt.Errorf("difftest: committed %v vs %v", a.Committed, b.Committed)
 	}
 	av, bv := viewRows(a), viewRows(b)
 	if len(av) != len(bv) {
-		return fmt.Errorf("violated views %v vs %v", keys(av), keys(bv))
+		return fmt.Errorf("difftest: violated views %v vs %v", keys(av), keys(bv))
 	}
 	for view, rows := range av {
 		if fmt.Sprint(bv[view]) != fmt.Sprint(rows) {
-			return fmt.Errorf("view %s rows %v vs %v", view, rows, bv[view])
+			return fmt.Errorf("difftest: view %s rows %v vs %v", view, rows, bv[view])
 		}
 	}
 	return nil
@@ -553,7 +553,7 @@ func sameViolations(a, b *core.CommitResult) error {
 // view — the witness must be deterministic, not just any violating row.
 func failFastAgrees(serial, ff *core.CommitResult) error {
 	if serial.Committed != ff.Committed {
-		return fmt.Errorf("committed %v vs %v", serial.Committed, ff.Committed)
+		return fmt.Errorf("difftest: committed %v vs %v", serial.Committed, ff.Committed)
 	}
 	firstRow := map[string]sqltypes.Row{}
 	for _, v := range serial.Violations {
@@ -566,19 +566,19 @@ func failFastAgrees(serial, ff *core.CommitResult) error {
 		seen[v.View] = true
 		want, ok := firstRow[v.View]
 		if !ok {
-			return fmt.Errorf("fail-fast flagged %s which serial did not", v.View)
+			return fmt.Errorf("difftest: fail-fast flagged %s which serial did not", v.View)
 		}
 		if len(v.Rows) != 1 {
-			return fmt.Errorf("fail-fast returned %d rows for %s, want 1", len(v.Rows), v.View)
+			return fmt.Errorf("difftest: fail-fast returned %d rows for %s, want 1", len(v.Rows), v.View)
 		}
 		if !sqltypes.IdenticalRows(v.Rows[0], want) {
-			return fmt.Errorf("fail-fast witness for %s is %s, serial's first row is %s",
+			return fmt.Errorf("difftest: fail-fast witness for %s is %s, serial's first row is %s",
 				v.View, v.Rows[0], want)
 		}
 	}
 	for view := range firstRow {
 		if !seen[view] {
-			return fmt.Errorf("serial flagged %s which fail-fast did not", view)
+			return fmt.Errorf("difftest: serial flagged %s which fail-fast did not", view)
 		}
 	}
 	return nil

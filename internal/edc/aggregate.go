@@ -20,7 +20,7 @@ import (
 func (g *generator) aggOptions(cond logic.AggCond) ([]option, error) {
 	cols, ok := g.info.TableColumns(cond.Table)
 	if !ok {
-		return nil, fmt.Errorf("unknown table %s in aggregate condition", cond.Table)
+		return nil, fmt.Errorf("edc: unknown table %s in aggregate condition", cond.Table)
 	}
 	newCond := cond.Clone()
 	newCond.NewState = true

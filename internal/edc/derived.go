@@ -24,7 +24,7 @@ func (g *generator) negativeDerivedOptions(lit logic.Literal) ([]option, error) 
 	name := lit.Atom.Name
 	rules, ok := g.set.Rules[name]
 	if !ok {
-		return nil, fmt.Errorf("internal: no rules for derived predicate %s", name)
+		return nil, fmt.Errorf("edc: internal: no rules for derived predicate %s", name)
 	}
 	newName, err := g.ensureNewState(name)
 	if err != nil {
@@ -91,7 +91,7 @@ func (g *generator) instantiate(r logic.Rule, args []logic.Term) logic.Body {
 // event joined with the rest of the rule in the old state.
 func (g *generator) falsifierBodies(rules []logic.Rule, args []logic.Term, depth int) ([]logic.Body, error) {
 	if depth > maxDerivedDepth {
-		return nil, fmt.Errorf("derived predicates nest deeper than %d", maxDerivedDepth)
+		return nil, fmt.Errorf("edc: derived predicates nest deeper than %d", maxDerivedDepth)
 	}
 	var out []logic.Body
 	for _, r := range rules {
@@ -112,7 +112,7 @@ func (g *generator) falsifierBodies(rules []logic.Rule, args []logic.Term, depth
 				b.Merge(rest.Clone())
 				out = append(out, b)
 				if len(out) > maxEDCs {
-					return nil, fmt.Errorf("falsifier expansion exceeds %d alternatives", maxEDCs)
+					return nil, fmt.Errorf("edc: falsifier expansion exceeds %d alternatives", maxEDCs)
 				}
 			}
 		}
@@ -137,7 +137,7 @@ func (g *generator) falsifyingEvents(l logic.Literal, depth int) ([]logic.Body, 
 	case l.Atom.Kind == logic.PredDerived && l.Neg:
 		return g.satisfierBodies(g.set.Rules[l.Atom.Name], l.Atom.Args, depth+1)
 	}
-	return nil, fmt.Errorf("internal: cannot falsify literal %s", l)
+	return nil, fmt.Errorf("edc: internal: cannot falsify literal %s", l)
 }
 
 // satisfierBodies returns the event conjunctions under which the derived
@@ -146,7 +146,7 @@ func (g *generator) falsifyingEvents(l logic.Literal, depth int) ([]logic.Body, 
 // evaluated in the NEW state.
 func (g *generator) satisfierBodies(rules []logic.Rule, args []logic.Term, depth int) ([]logic.Body, error) {
 	if depth > maxDerivedDepth {
-		return nil, fmt.Errorf("derived predicates nest deeper than %d", maxDerivedDepth)
+		return nil, fmt.Errorf("edc: derived predicates nest deeper than %d", maxDerivedDepth)
 	}
 	var out []logic.Body
 	for _, r := range rules {
@@ -172,7 +172,7 @@ func (g *generator) satisfierBodies(rules []logic.Rule, args []logic.Term, depth
 					b.Merge(rn.Clone())
 					out = append(out, b)
 					if len(out) > maxEDCs {
-						return nil, fmt.Errorf("satisfier expansion exceeds %d alternatives", maxEDCs)
+						return nil, fmt.Errorf("edc: satisfier expansion exceeds %d alternatives", maxEDCs)
 					}
 				}
 			}
@@ -198,7 +198,7 @@ func (g *generator) satisfyingEvents(l logic.Literal, depth int) ([]logic.Body, 
 	case l.Atom.Kind == logic.PredDerived && l.Neg:
 		return g.falsifierBodies(g.set.Rules[l.Atom.Name], l.Atom.Args, depth+1)
 	}
-	return nil, fmt.Errorf("internal: cannot satisfy literal %s", l)
+	return nil, fmt.Errorf("edc: internal: cannot satisfy literal %s", l)
 }
 
 // ensureNewState registers (once) the new-state version d_n of a derived
@@ -211,7 +211,7 @@ func (g *generator) ensureNewState(name string) (string, error) {
 	}
 	rules := g.set.Rules[name]
 	if rules == nil {
-		return "", fmt.Errorf("internal: no rules for derived predicate %s", name)
+		return "", fmt.Errorf("edc: internal: no rules for derived predicate %s", name)
 	}
 	// Reserve the name first to terminate on (unsupported) recursive rules.
 	g.set.Rules[newName] = nil
@@ -235,7 +235,7 @@ func (g *generator) ensureNewState(name string) (string, error) {
 // bodies and using alive$/new$ auxiliaries for negated literals.
 func (g *generator) newStateBodies(b logic.Body, depth int) ([]logic.Body, error) {
 	if depth > maxDerivedDepth {
-		return nil, fmt.Errorf("derived predicates nest deeper than %d", maxDerivedDepth)
+		return nil, fmt.Errorf("edc: derived predicates nest deeper than %d", maxDerivedDepth)
 	}
 	bodies := []logic.Body{{Builtins: append([]logic.Builtin(nil), b.Builtins...)}}
 	for _, l := range b.Lits {
@@ -270,7 +270,7 @@ func (g *generator) newStateBodies(b logic.Body, depth int) ([]logic.Body, error
 			a.Name = nn
 			alts = [][]logic.Literal{{{Atom: a, Neg: l.Neg}}}
 		default:
-			return nil, fmt.Errorf("internal: event literal %s inside derived rule", l)
+			return nil, fmt.Errorf("edc: internal: event literal %s inside derived rule", l)
 		}
 		var next []logic.Body
 		for _, cur := range bodies {
@@ -284,7 +284,7 @@ func (g *generator) newStateBodies(b logic.Body, depth int) ([]logic.Body, error
 		}
 		bodies = next
 		if len(bodies) > maxEDCs {
-			return nil, fmt.Errorf("new-state expansion exceeds %d bodies", maxEDCs)
+			return nil, fmt.Errorf("edc: new-state expansion exceeds %d bodies", maxEDCs)
 		}
 	}
 	return bodies, nil

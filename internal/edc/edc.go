@@ -226,7 +226,7 @@ func (g *generator) denialEDCs(d logic.Denial) error {
 	}
 	build(0, logic.Body{}, false)
 	if len(bodies) > maxEDCs {
-		return fmt.Errorf("denial %s expands to more than %d EDCs", d.Name, maxEDCs)
+		return fmt.Errorf("edc: denial %s expands to more than %d EDCs", d.Name, maxEDCs)
 	}
 	for _, b := range bodies {
 		sortEDCBody(&b)
@@ -319,9 +319,9 @@ func (g *generator) literalOptions(d logic.Denial, lit logic.Literal, bound map[
 	case lit.Atom.Kind == logic.PredDerived && !lit.Neg:
 		// Positive derived literals are inlined by the translator; reaching
 		// one here would mean an internal inconsistency.
-		return nil, fmt.Errorf("internal: positive derived literal %s in denial body", lit)
+		return nil, fmt.Errorf("edc: internal: positive derived literal %s in denial body", lit)
 	}
-	return nil, fmt.Errorf("internal: event literal %s in denial body", lit)
+	return nil, fmt.Errorf("edc: internal: event literal %s in denial body", lit)
 }
 
 // negativeBaseOptions implements substitution (3) for ¬p(x̄).

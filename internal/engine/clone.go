@@ -106,6 +106,7 @@ func (c *cloner) cloneExec(ex *exec) *exec {
 	n.initLevels()
 	if ex.subs != nil {
 		n.subs = make(map[*sqlparser.Select]*exec, len(ex.subs))
+		//tintin:allow nodeterminism rebuilds a map keyed identically; per-entry clones are independent, order never reaches results
 		for q, sub := range ex.subs {
 			n.subs[q] = c.cloneExec(sub)
 		}

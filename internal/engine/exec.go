@@ -334,6 +334,7 @@ func (e *Engine) resolveSource(tr sqlparser.TableRef, outer *scope) (*source, er
 				}
 			}
 		}
+		//tintin:allow nodeterminism bareIdx keys are unique by construction, so the writes commute; order never reaches results
 		for bare, i := range bareIdx {
 			if i < 0 {
 				continue

@@ -221,6 +221,7 @@ func (ex *exec) planSubqueries() error {
 func (ex *exec) reset() {
 	ex.inMemo = nil
 	ex.skipProject = false
+	//tintin:allow nodeterminism each sub-plan reset is independent; order never reaches results
 	for _, sub := range ex.subs {
 		sub.reset()
 	}
@@ -250,6 +251,7 @@ func (ex *exec) ensureProbeIndexes() error {
 		}
 		ex.probeIdx[k] = idx
 	}
+	//tintin:allow nodeterminism per-sub-plan index builds are independent; order only picks which error surfaces first
 	for _, sub := range ex.subs {
 		if err := sub.ensureProbeIndexes(); err != nil {
 			return err

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/token"
+	"reflect"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// allowPrefix is the suppression directive marker. Like //go:build, the
+// directive form has no space between // and the marker.
+const allowPrefix = "//tintin:allow"
+
+// AllowAnalyzer indexes //tintin:allow suppression directives and reports
+// malformed ones (unknown analyzer names, missing reason). The other
+// analyzers require it and drop diagnostics the index covers.
+var AllowAnalyzer = &analysis.Analyzer{
+	Name: "tintinallow",
+	Doc: "validate //tintin:allow suppression directives\n\n" +
+		"A directive `//tintin:allow <analyzer>[,<analyzer>] <reason>` on a\n" +
+		"flagged line (or the line above it) suppresses those analyzers'\n" +
+		"diagnostics there. The reason string is mandatory: a suppression\n" +
+		"is an argument for why the invariant holds anyway, and it must be\n" +
+		"written down where the next reader will look.",
+	Run:        runAllow,
+	ResultType: reflect.TypeOf((*AllowIndex)(nil)),
+}
+
+// AllowIndex records, per file-and-line, which analyzers have an active
+// suppression directive.
+type AllowIndex struct {
+	fset *token.FileSet
+	// byLine maps filename → line → analyzer names allowed on that line.
+	byLine map[string]map[int]map[string]bool
+}
+
+// Allows reports whether a diagnostic from the named analyzer at pos is
+// covered by a directive on the same line or the line immediately above.
+func (ix *AllowIndex) Allows(name string, pos token.Pos) bool {
+	if ix == nil || !pos.IsValid() {
+		return false
+	}
+	p := ix.fset.Position(pos)
+	lines := ix.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[p.Line][name] || lines[p.Line-1][name]
+}
+
+func runAllow(pass *analysis.Pass) (interface{}, error) {
+	ix := &AllowIndex{fset: pass.Fset, byLine: map[string]map[int]map[string]bool{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := c.Text[len(allowPrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //tintin:allowance — not the directive
+				}
+				names, reason := splitDirective(rest)
+				if len(names) == 0 {
+					pass.Reportf(c.Pos(), "malformed %s directive: missing analyzer name", allowPrefix)
+					continue
+				}
+				bad := false
+				for _, n := range names {
+					if !analyzerNames[n] {
+						pass.Reportf(c.Pos(), "malformed %s directive: unknown analyzer %q", allowPrefix, n)
+						bad = true
+					}
+				}
+				if reason == "" {
+					pass.Reportf(c.Pos(), "malformed %s directive: a reason is required after the analyzer name", allowPrefix)
+					bad = true
+				}
+				if bad {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				lines := ix.byLine[p.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					ix.byLine[p.Filename] = lines
+				}
+				set := lines[p.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[p.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return ix, nil
+}
+
+// splitDirective parses " name1,name2 the reason text" into the analyzer
+// names and the trailing reason.
+func splitDirective(rest string) (names []string, reason string) {
+	rest = strings.TrimSpace(rest)
+	nameField, reason, _ := strings.Cut(rest, " ")
+	for _, n := range strings.Split(nameField, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, strings.TrimSpace(reason)
+}
+
+// reportf emits a diagnostic unless an AllowIndex directive covers it.
+func reportf(pass *analysis.Pass, pos token.Pos, format string, args ...interface{}) {
+	ix, _ := pass.ResultOf[AllowAnalyzer].(*AllowIndex)
+	if ix.Allows(pass.Analyzer.Name, pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// runAllowOn parses src and runs the tintinallow analyzer over it,
+// returning the index and the malformed-directive diagnostics.
+func runAllowOn(t *testing.T, src string) (*AllowIndex, []analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: AllowAnalyzer,
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	res, err := runAllow(pass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.(*AllowIndex), diags
+}
+
+const allowSrc = `package p
+
+func f() {
+	_ = 1 //tintin:allow errprefix matched verbatim by an external contract
+	//tintin:allow freezethaw,valuecompare caller holds the invariant
+	_ = 2
+	//tintin:allow
+	_ = 3
+	//tintin:allow nosuchanalyzer because reasons
+	_ = 4
+	//tintin:allow errprefix
+	_ = 5
+	_ = 6
+}
+`
+
+func TestAllowDirectiveParsing(t *testing.T) {
+	ix, diags := runAllowOn(t, allowSrc)
+
+	want := []string{
+		"missing analyzer name",             // line 7: no names, no reason
+		`unknown analyzer "nosuchanalyzer"`, // line 9
+		"a reason is required",              // line 11: name but no reason
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, w)
+		}
+	}
+
+	pos := func(line int) token.Pos {
+		// Find any position on the given 1-based line.
+		off := 0
+		for i := 1; i < line; i++ {
+			off += strings.Index(allowSrc[off:], "\n") + 1
+		}
+		return token.Pos(1 + off)
+	}
+
+	cases := []struct {
+		name string
+		line int
+		want bool
+	}{
+		{"errprefix", 4, true},    // trailing same-line directive
+		{"freezethaw", 6, true},   // directive on the line above
+		{"valuecompare", 6, true}, // multi-analyzer directive
+		{"errprefix", 6, false},   // not named by that directive
+		{"freezethaw", 4, false},  // different analyzer's directive
+		{"errprefix", 8, false},   // malformed: no effect
+		{"nosuchanalyzer", 10, false},
+		{"errprefix", 12, false}, // reasonless: no effect
+		{"errprefix", 13, false}, // two lines below a directive
+	}
+	for _, c := range cases {
+		if got := ix.Allows(c.name, pos(c.line)); got != c.want {
+			t.Errorf("Allows(%q, line %d) = %v, want %v", c.name, c.line, got, c.want)
+		}
+	}
+}
+
+func TestSplitDirective(t *testing.T) {
+	names, reason := splitDirective(" a,b  the reason")
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" || reason != "the reason" {
+		t.Errorf("splitDirective = %v %q", names, reason)
+	}
+	names, reason = splitDirective("  only")
+	if len(names) != 1 || names[0] != "only" || reason != "" {
+		t.Errorf("splitDirective bare = %v %q", names, reason)
+	}
+}

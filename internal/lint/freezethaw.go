@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// FreezeThawAnalyzer enforces the snapshot discipline around DB.Freeze:
+// a function that freezes must guarantee the matching Thaw on every way
+// out, or the database stays read-only forever and every later write
+// panics far from the bug. Accepted shapes: a `defer x.Thaw()` anywhere in
+// the function, or an explicit Thaw call on every control-flow path from
+// the Freeze to the function's exit.
+//
+// The check is receiver-shape based — a method named Freeze whose receiver
+// type also has a Thaw method — so it covers storage.DB and any future
+// freezer without a hard dependency on one package.
+var FreezeThawAnalyzer = &analysis.Analyzer{
+	Name: "freezethaw",
+	Doc: "every Freeze() must be paired with Thaw() on all return paths\n\n" +
+		"The commit path freezes the database for the parallel fan-out; a\n" +
+		"return path that skips Thaw leaves the snapshot guard engaged and\n" +
+		"turns the next write into a panic. Prefer `defer db.Thaw()`\n" +
+		"immediately after the Freeze.",
+	Requires: []*analysis.Analyzer{AllowAnalyzer, inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      runFreezeThaw,
+}
+
+func runFreezeThaw(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		var g *cfg.CFG
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body, g = fn.Body, cfgs.FuncDecl(fn)
+		case *ast.FuncLit:
+			body, g = fn.Body, cfgs.FuncLit(fn)
+		}
+		if body == nil || g == nil {
+			return
+		}
+		freezes := pairedCalls(pass, body, "Freeze")
+		if len(freezes) == 0 {
+			return
+		}
+		if deferredThaw(pass, body) {
+			return
+		}
+		for _, fr := range freezes {
+			if !allPathsThaw(pass, g, fr) {
+				reportf(pass, fr.Pos(),
+					"Freeze() without Thaw() on every return path; defer the Thaw or thaw on each exit")
+			}
+		}
+	})
+	return nil, nil
+}
+
+// pairedCalls returns the calls in body (excluding nested function
+// literals, which get their own CFG walk) to a method with the given name
+// whose receiver type also has the matching counterpart method.
+func pairedCalls(pass *analysis.Pass, body *ast.BlockStmt, name string) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if ok && isFreezerMethod(pass, call, name) {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+// isFreezerMethod reports whether call invokes a method with the given
+// name on a type that has both Freeze and Thaw methods.
+func isFreezerMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	for _, counterpart := range [...]string{"Freeze", "Thaw"} {
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, fn.Pkg(), counterpart)
+		if _, ok := obj.(*types.Func); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// deferredThaw reports whether body (outside nested literals) contains
+// `defer x.Thaw()` for a Freeze/Thaw-paired receiver.
+func deferredThaw(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && isFreezerMethod(pass, d.Call, "Thaw") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// allPathsThaw reports whether every control-flow path from the freeze
+// call to the function's exit passes a Thaw call. Panics are out of scope:
+// a path that ends in a call to panic (or an infinite loop) never returns
+// frozen state to a caller that expects to write again.
+func allPathsThaw(pass *analysis.Pass, g *cfg.CFG, freeze *ast.CallExpr) bool {
+	thawed := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		return ok && isFreezerMethod(pass, call, "Thaw")
+	}
+	// Locate the block holding the freeze call; check the tail of that
+	// block first, then search forward.
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if !containsPos(n, freeze.Pos()) {
+				continue
+			}
+			// Found the freeze. Does the rest of this block thaw?
+			for _, rest := range b.Nodes[i+1:] {
+				sat := false
+				ast.Inspect(rest, func(m ast.Node) bool {
+					if thawed(m) {
+						sat = true
+					}
+					return !sat
+				})
+				if sat {
+					return true
+				}
+			}
+			return successorsAllThaw(b, thawed, map[*cfg.Block]bool{})
+		}
+	}
+	// Freeze not found in the CFG (dead code): nothing to prove.
+	return true
+}
+
+// successorsAllThaw walks every path out of b; a path is satisfied when a
+// block on it contains a Thaw, and violated when it reaches a return
+// block without one. go/cfg synthesizes a ReturnStmt when control falls
+// off the end of the function, so a no-successor block without one is a
+// panic-style exit and out of scope. Cycles without a Thaw cannot exit,
+// so visited blocks count as satisfied.
+func successorsAllThaw(b *cfg.Block, thawed func(ast.Node) bool, seen map[*cfg.Block]bool) bool {
+	if len(b.Succs) == 0 {
+		// The freeze block itself ends the function.
+		return b.Return() == nil
+	}
+	for _, s := range b.Succs {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		sat := false
+		for _, n := range s.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if thawed(m) {
+					sat = true
+				}
+				return !sat
+			})
+			if sat {
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		if len(s.Succs) == 0 {
+			if s.Return() != nil {
+				return false // reached a return without thawing
+			}
+			continue // panic/no-return exit: out of scope
+		}
+		if !successorsAllThaw(s, thawed, seen) {
+			return false
+		}
+	}
+	return true
+}
+
+// containsPos reports whether pos lies within n's extent.
+func containsPos(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}

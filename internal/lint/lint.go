@@ -1,0 +1,61 @@
+// Package lint implements the tintinvet analyzers: a go/analysis suite
+// that mechanizes the repo's commit-path invariants at the source level.
+//
+// The standing constraints in ROADMAP.md — plan-compilation-free commits,
+// +0-alloc direct-pointer metrics, Freeze/Thaw snapshot discipline,
+// NULL-safe Value comparison, deterministic merges — are each guarded
+// dynamically by one test or benchmark that exercises one code path. A new
+// call site that violates them compiles clean and slips past until a bench
+// regresses. These analyzers encode the same invariants as static checks
+// over every call site, the way the differential oracle (internal/difftest)
+// encodes the semantic ones over every generated workload.
+//
+// The suite:
+//
+//   - hotpathcompile: no plan compilation (engine prepare/exec-tree
+//     construction, regexp compilation, SQL parsing) reachable from the
+//     commit path. Mechanizes TestSafeCommitUsesPlanCache.
+//   - obsdirect: no obs.Registry lookups reachable from the commit path;
+//     commit-path metrics must go through direct pointers resolved at
+//     construction. Mechanizes the `make bench-obs` +0-alloc constraint.
+//   - freezethaw: every Freeze() is paired with a Thaw() on all return
+//     paths of the same function (defer or path-complete explicit calls).
+//   - errprefix: every errors.New / fmt.Errorf in internal/... carries a
+//     recognized subsystem prefix or wraps a cause via %w.
+//   - valuecompare: no ==/!= on sqltypes.Value outside internal/sqltypes
+//     (the tri-valued NULL trap behind PR 6's delta-subtraction bug).
+//   - nodeterminism: no time.Now/math-rand calls or map-range iteration
+//     in internal/engine result-building code (merge determinism).
+//
+// Every analyzer honors the suppression directive
+//
+//	//tintin:allow <analyzer>[,<analyzer>] <reason>
+//
+// on the flagged line or the line above it. The reason string is
+// mandatory; the tintinallow analyzer reports malformed directives.
+package lint
+
+import "golang.org/x/tools/go/analysis"
+
+// Analyzers returns the full tintinvet suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		AllowAnalyzer,
+		HotPathCompileAnalyzer,
+		ObsDirectAnalyzer,
+		FreezeThawAnalyzer,
+		ErrPrefixAnalyzer,
+		ValueCompareAnalyzer,
+		NoDeterminismAnalyzer,
+	}
+}
+
+// analyzerNames is the set of names //tintin:allow may reference.
+var analyzerNames = map[string]bool{
+	"hotpathcompile": true,
+	"obsdirect":      true,
+	"freezethaw":     true,
+	"errprefix":      true,
+	"valuecompare":   true,
+	"nodeterminism":  true,
+}

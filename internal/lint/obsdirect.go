@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// ObsDirectAnalyzer enforces the direct-pointer metrics discipline: the
+// commit path must never look a metric up in an obs.Registry — lookups
+// take the registry mutex and build the labeled name, which is exactly the
+// overhead the +0-alloc guarantee (make bench-obs) forbids. Instruments
+// are resolved once at construction (toolMetrics, Pool.WithMetrics, ...)
+// and the hot path touches only the resolved pointers.
+var ObsDirectAnalyzer = &analysis.Analyzer{
+	Name: "obsdirect",
+	Doc: "no obs.Registry lookups reachable from the commit path\n\n" +
+		"Registry.Counter/Gauge/Histogram and friends are construction-time\n" +
+		"wiring: they lock the registry and intern the metric name. The\n" +
+		"commit path works against direct instrument pointers resolved at\n" +
+		"construction, keeping the instrumented hot path at +0 allocations.",
+	Requires:  []*analysis.Analyzer{AllowAnalyzer},
+	FactTypes: []analysis.Fact{(*RegistryLookupFact)(nil)},
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		return runReach(pass, reachConfig{
+			isIntrinsic: isRegistryLookup,
+			importFact: func(pass *analysis.Pass, fn *types.Func) (string, bool) {
+				var f RegistryLookupFact
+				if pass.ImportObjectFact(fn, &f) {
+					return f.Chain, true
+				}
+				return "", false
+			},
+			exportFact: func(pass *analysis.Pass, fn *types.Func, chain string) {
+				pass.ExportObjectFact(fn, &RegistryLookupFact{Chain: chain})
+			},
+			verb: "performs a metrics-registry lookup; resolve direct instrument pointers at construction instead",
+		})
+	},
+}
+
+// RegistryLookupFact marks a function that can transitively perform an
+// obs.Registry instrument lookup; Chain is a witness path to it.
+type RegistryLookupFact struct{ Chain string }
+
+// AFact marks RegistryLookupFact as a serializable analysis fact.
+func (*RegistryLookupFact) AFact() {}
+
+func (f *RegistryLookupFact) String() string { return "registry lookup via " + f.Chain }
+
+// isRegistryLookup identifies the obs.Registry instrument-lookup methods.
+func isRegistryLookup(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil || !pathHasSuffix(pkg.Path(), "internal/obs") {
+		return "", false
+	}
+	if receiverNamed(fn) != "Registry" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "GaugeFunc", "Histogram", "HistogramBounds":
+		return "locks the registry and interns the metric name", true
+	}
+	return "", false
+}

@@ -1,0 +1,29 @@
+// Package errprefix seeds subsystem-prefix violations: bare messages,
+// compliant prefixed and %w-wrapping constructors, and a suppressed site.
+// (The package lives under internal/lint/testdata, so the analyzer's
+// internal-tree scope applies to it.)
+package errprefix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("wal: torn record") // prefixed sentinel: clean
+
+var errBare = errors.New("torn record") // want `error message "torn record" lacks a subsystem prefix`
+
+func constructors(name string, cause error) []error {
+	return []error{
+		fmt.Errorf("engine: unknown view %s", name),  // prefixed: clean
+		fmt.Errorf("tintin: wal: %s corrupt", name),  // nested subsystem: clean
+		fmt.Errorf("evaluating %s: %w", name, cause), // wraps a cause: clean
+		fmt.Errorf("unknown view %s", name),          // want `error message "unknown view %s" lacks a subsystem prefix`
+		errors.New("unsupported operator"),           // want `error message "unsupported operator" lacks a subsystem prefix`
+		fmt.Errorf("%s is not a condition", name),    // want `lacks a subsystem prefix .* does not wrap a cause`
+		fmt.Errorf(dynamicFormat(name), name),        // dynamic format: statically unknowable, skipped
+		fmt.Errorf("subsystemless %s context", name), //tintin:allow errprefix message is matched verbatim by an external contract test
+	}
+}
+
+func dynamicFormat(s string) string { return s + ": %s" }

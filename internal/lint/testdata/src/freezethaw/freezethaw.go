@@ -1,0 +1,85 @@
+// Package freezethaw seeds Freeze/Thaw pairing violations for the
+// freezethaw analyzer: early returns that skip the Thaw, the deferred and
+// the all-paths shapes that satisfy it, and a suppressed site.
+package freezethaw
+
+type DB struct{ frozen bool }
+
+func (db *DB) Freeze() { db.frozen = true }
+func (db *DB) Thaw()   { db.frozen = false }
+
+// Freezer has a Freeze but no Thaw: not a paired freezer, never flagged.
+type Freezer struct{}
+
+func (Freezer) Freeze() {}
+
+func leakOnEarlyReturn(db *DB, fail bool) error {
+	db.Freeze() // want `Freeze\(\) without Thaw\(\) on every return path`
+	if fail {
+		return errFailed
+	}
+	db.Thaw()
+	return nil
+}
+
+func leakOnFallOff(db *DB, n int) {
+	db.Freeze() // want `Freeze\(\) without Thaw\(\) on every return path`
+	if n > 0 {
+		db.Thaw()
+	}
+}
+
+func deferredIsSafe(db *DB, fail bool) error {
+	db.Freeze()
+	defer db.Thaw()
+	if fail {
+		return errFailed
+	}
+	return nil
+}
+
+func allPathsThaw(db *DB, n int) int {
+	db.Freeze()
+	if n > 0 {
+		db.Thaw()
+		return n
+	}
+	db.Thaw()
+	return 0
+}
+
+func loopThenThaw(db *DB, n int) {
+	db.Freeze()
+	for i := 0; i < n; i++ {
+		n--
+	}
+	db.Thaw()
+}
+
+func panicPathIsOutOfScope(db *DB, fail bool) {
+	db.Freeze()
+	if fail {
+		panic("frozen forever, but a panic is not a return path")
+	}
+	db.Thaw()
+}
+
+func unpairedFreezerIsIgnored(f Freezer) {
+	f.Freeze()
+}
+
+func suppressed(db *DB, fail bool) error {
+	//tintin:allow freezethaw caller thaws; transitional shape pending refactor
+	db.Freeze()
+	if fail {
+		return errFailed
+	}
+	db.Thaw()
+	return nil
+}
+
+var errFailed = errLike("failed")
+
+type errLike string
+
+func (e errLike) Error() string { return string(e) }

@@ -1,0 +1,44 @@
+// Package core seeds hotpathcompile violations: its Tool.safeCommit and
+// Tool.checkParallel are the commit-path roots, and the fixture exercises
+// direct intrinsics (regexp), imported facts (engine, sqlparser), local
+// transitive reachability, non-root functions, and suppression.
+package core
+
+import (
+	"regexp"
+
+	"tintin/internal/lint/testdata/src/hotpath/internal/engine"
+	"tintin/internal/lint/testdata/src/hotpath/internal/sqlparser"
+)
+
+type Tool struct {
+	eng  *engine.Engine
+	plan *engine.Plan
+}
+
+func (t *Tool) safeCommit() error {
+	p := t.eng.PrepareView("v") // want `safeCommit \(commit path via safeCommit\) calls \(\*Engine\)\.PrepareView .*compiles a plan at commit time`
+	_ = p.ExecCached()          // cached execution: clean
+	t.helper()
+	return nil
+}
+
+// helper is commit-reachable through safeCommit, so its intrinsic call is
+// flagged here, at the call site a suppression would have to annotate.
+func (t *Tool) helper() {
+	re := regexp.MustCompile(`x+`) // want `helper \(commit path via safeCommit → helper\) calls regexp\.MustCompile .*compiles a plan at commit time`
+	_ = re
+}
+
+func (t *Tool) checkParallel() {
+	_, _ = sqlparser.Parse("SELECT 1") // want `checkParallel \(commit path via checkParallel\) calls sqlparser\.Parse .*compiles a plan at commit time`
+	//tintin:allow hotpathcompile serial lane for non-cacheable plans re-plans by design
+	_ = t.plan.QueryLimitInto(1)
+}
+
+// Install is not a commit-path root: compilation here is the point.
+func (t *Tool) Install() {
+	t.eng.PrepareView("v")
+	_, _ = sqlparser.ParseSelect("SELECT 1")
+	_ = regexp.MustCompile(`y+`)
+}

@@ -1,0 +1,54 @@
+// Package engine mirrors the shape of tintin/internal/engine for the
+// hotpathcompile fixture: prepare/newExec/query are the compilation
+// intrinsics, and the exported entry points either stay on the cached
+// side (ExecCached) or can fall into compilation (PrepareView, Query).
+package engine
+
+type Engine struct {
+	plans map[string]*Plan
+}
+
+type Plan struct {
+	eng  *Engine
+	name string
+}
+
+func (e *Engine) prepare(name string) *Plan {
+	return &Plan{eng: e, name: name} // stands in for full plan construction
+}
+
+func (e *Engine) newExec(name string) *Plan {
+	return &Plan{eng: e, name: name}
+}
+
+func (e *Engine) query(name string) int {
+	p := e.newExec(name)
+	_ = p
+	return 0
+}
+
+// PrepareView is the cache-or-compile lookup: a hit is free, a miss
+// compiles. Reaching it from the commit path is flaggable.
+func (e *Engine) PrepareView(name string) *Plan {
+	if p, ok := e.plans[name]; ok {
+		return p
+	}
+	p := e.prepare(name)
+	e.plans[name] = p
+	return p
+}
+
+// Query is the uncached evaluate-from-AST path.
+func (e *Engine) Query(name string) int { return e.query(name) }
+
+// QueryLimitInto executes a prepared plan but re-plans when the plan is
+// not cacheable — so it, too, carries the compiles fact.
+func (p *Plan) QueryLimitInto(limit int) int {
+	if p.name == "" {
+		return p.eng.query(p.name)
+	}
+	return 0
+}
+
+// ExecCached only ever touches the cached artifact: no fact.
+func (p *Plan) ExecCached() int { return len(p.name) }

@@ -1,0 +1,9 @@
+// Package sqlparser mirrors tintin/internal/sqlparser for the
+// hotpathcompile fixture: Parse* functions are compilation intrinsics.
+package sqlparser
+
+type Stmt struct{ SQL string }
+
+func Parse(sql string) (*Stmt, error) { return &Stmt{SQL: sql}, nil }
+
+func ParseSelect(sql string) (*Stmt, error) { return Parse(sql) }

@@ -1,0 +1,45 @@
+// Package engine seeds nodeterminism violations: wall-clock reads, a
+// math/rand import, and map-range iteration in a package whose path ends
+// in internal/engine, where results must be a pure function of the
+// snapshot.
+package engine
+
+import (
+	"math/rand" // want `math/rand has no place in deterministic engine code`
+	"sort"
+	"time"
+)
+
+type Result struct{ Rows []string }
+
+func buildTimed(r *Result) time.Duration {
+	start := time.Now() // want `time\.Now in engine code`
+	r.Rows = append(r.Rows, "row")
+	return time.Since(start) // want `time\.Since in engine code`
+}
+
+func buildShuffled(r *Result) {
+	r.Rows = append(r.Rows, r.Rows[rand.Intn(len(r.Rows))])
+}
+
+func buildFromMap(r *Result, m map[string]int) {
+	for k := range m { // want `map iteration order is randomized`
+		r.Rows = append(r.Rows, k)
+	}
+}
+
+func buildSorted(r *Result, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `map iteration order is randomized`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	r.Rows = append(r.Rows, keys...)
+}
+
+func invalidateAll(m map[string]int) {
+	//tintin:allow nodeterminism cache invalidation touches every entry; order-independent
+	for k := range m {
+		delete(m, k)
+	}
+}

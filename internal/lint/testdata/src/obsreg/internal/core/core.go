@@ -1,0 +1,40 @@
+// Package core seeds obsdirect violations: registry lookups reachable
+// from the commit path, directly, through a deferred closure, and through
+// an imported fact; plus the construction-time wiring that must stay
+// clean, and a suppressed site.
+package core
+
+import (
+	"tintin/internal/lint/testdata/src/obsreg/internal/obs"
+	"tintin/internal/lint/testdata/src/obsreg/internal/sched"
+)
+
+type Tool struct {
+	reg     *obs.Registry
+	pool    *sched.Pool
+	commits *obs.Counter
+}
+
+// NewTool resolves direct instrument pointers once: lookups here are the
+// intended pattern, and obsdirect must not flag them.
+func NewTool(reg *obs.Registry) *Tool {
+	return &Tool{
+		reg:     reg,
+		commits: reg.Counter("commits"),
+	}
+}
+
+func (t *Tool) safeCommit() {
+	t.commits.Add(1)                // direct pointer: clean
+	t.reg.Counter("commits").Add(1) // want `safeCommit \(commit path via safeCommit\) calls \(\*Registry\)\.Counter .*metrics-registry lookup`
+	t.pool.RecordBatch()            // want `safeCommit \(commit path via safeCommit\) calls \(\*Pool\)\.RecordBatch → .*metrics-registry lookup`
+	t.pool.RecordBatchDirect()      // resolved pointer behind the call: clean
+	defer func() {
+		t.reg.Histogram("ns").Observe(1) // want `safeCommit \(commit path via safeCommit\) calls \(\*Registry\)\.Histogram .*metrics-registry lookup`
+	}()
+}
+
+func (t *Tool) checkParallel() {
+	//tintin:allow obsdirect one-shot gauge registration on a cold path, measured at +0 allocs
+	t.reg.Counter("parallel").Add(1)
+}

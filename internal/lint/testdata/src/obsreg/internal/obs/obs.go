@@ -1,0 +1,35 @@
+// Package obs mirrors tintin/internal/obs for the obsdirect fixture.
+package obs
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Add(d int64) { c.n += d }
+
+type Histogram struct{ n int64 }
+
+func (h *Histogram) Observe(v int64) { h.n++ }
+
+type Registry struct {
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+}
+
+// Counter is a lookup: it interns the name under the registry lock.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram is a lookup too.
+func (r *Registry) Histogram(name string) *Histogram {
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}

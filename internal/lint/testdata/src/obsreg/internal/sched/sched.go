@@ -1,0 +1,27 @@
+// Package sched gives the obsdirect fixture a middle package: RecordBatch
+// performs a registry lookup, so the fact must flow through it to core.
+package sched
+
+import "tintin/internal/lint/testdata/src/obsreg/internal/obs"
+
+type Pool struct {
+	reg     *obs.Registry
+	batches *obs.Counter
+}
+
+// WithMetrics is construction-time wiring: lookups here are fine.
+func (p *Pool) WithMetrics(reg *obs.Registry) *Pool {
+	p.reg = reg
+	p.batches = reg.Counter("batches")
+	return p
+}
+
+// RecordBatch performs a lookup per call — the anti-pattern.
+func (p *Pool) RecordBatch() {
+	p.reg.Counter("batches").Add(1)
+}
+
+// RecordBatchDirect uses the resolved pointer — the right pattern.
+func (p *Pool) RecordBatchDirect() {
+	p.batches.Add(1)
+}

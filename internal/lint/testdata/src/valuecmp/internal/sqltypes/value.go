@@ -1,0 +1,21 @@
+// Package sqltypes mirrors tintin/internal/sqltypes for the valuecompare
+// fixture. Inside this package, raw == on Value is the implementation's
+// prerogative and must not be flagged.
+package sqltypes
+
+type Kind uint8
+
+type Value struct {
+	kind Kind
+	i    int64
+}
+
+func NewInt(v int64) Value { return Value{kind: 1, i: v} }
+
+// Equal is the NULL-aware comparison; its internals may use raw equality.
+func (v Value) Equal(o Value) bool {
+	if v.kind == 0 || o.kind == 0 {
+		return false
+	}
+	return v == o
+}

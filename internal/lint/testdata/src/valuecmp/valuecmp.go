@@ -1,0 +1,31 @@
+// Package valuecmp seeds valuecompare violations: raw ==/!= and switch on
+// sqltypes.Value outside the sqltypes package, the NULL-semantics trap the
+// differential oracle once caught at runtime.
+package valuecmp
+
+import "tintin/internal/lint/testdata/src/valuecmp/internal/sqltypes"
+
+func compare(a, b sqltypes.Value) bool {
+	if a == b { // want `== on sqltypes\.Value compares raw representations`
+		return true
+	}
+	if a != b { // want `!= on sqltypes\.Value compares raw representations`
+		return false
+	}
+	return a.Equal(b) // the NULL-aware API: clean
+}
+
+func switchOn(v sqltypes.Value) int {
+	switch v { // want `switch on sqltypes\.Value compares raw representations`
+	case sqltypes.NewInt(1):
+		return 1
+	}
+	return 0
+}
+
+func suppressed(a, b sqltypes.Value) bool {
+	//tintin:allow valuecompare deduplicating identical deltas; NULL==NULL identity is wanted here
+	return a == b
+}
+
+func otherTypesAreFine(a, b int) bool { return a == b }

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// ValueCompareAnalyzer flags ==/!= (and switch cases, which compare the
+// same way) over sqltypes.Value outside internal/sqltypes. Go's == on the
+// struct is bytewise: it calls NULL equal to NULL and 1 (INTEGER) unequal
+// to 1.0 (REAL), both wrong under SQL's tri-valued comparison semantics.
+// The differential oracle caught exactly this once — the delta-subtraction
+// bug where a deleted (1, NULL) row never matched itself. Use
+// sqltypes.Compare / Value.Equal (NULL-aware) or, for row-identity
+// matching where NULL must match NULL, the encoded-key comparison.
+var ValueCompareAnalyzer = &analysis.Analyzer{
+	Name: "valuecompare",
+	Doc: "no ==/!= on sqltypes.Value outside internal/sqltypes\n\n" +
+		"Struct equality ignores SQL's tri-valued NULL semantics and kind\n" +
+		"coercion (1 == 1.0). Only internal/sqltypes may compare raw\n" +
+		"representations; everyone else goes through its comparison API.",
+	Requires: []*analysis.Analyzer{AllowAnalyzer, inspect.Analyzer},
+	Run:      runValueCompare,
+}
+
+func runValueCompare(pass *analysis.Pass) (interface{}, error) {
+	if pathHasSuffix(pass.Pkg.Path(), "internal/sqltypes") {
+		return nil, nil // the one package allowed to see the representation
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil), (*ast.SwitchStmt)(nil)}, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if x.Op != token.EQL && x.Op != token.NEQ {
+				return
+			}
+			if isSQLValue(pass, x.X) || isSQLValue(pass, x.Y) {
+				reportf(pass, x.OpPos,
+					"%s on sqltypes.Value compares raw representations; use the NULL-aware sqltypes comparison API", x.Op)
+			}
+		case *ast.SwitchStmt:
+			if x.Tag != nil && isSQLValue(pass, x.Tag) {
+				reportf(pass, x.Switch,
+					"switch on sqltypes.Value compares raw representations; use the NULL-aware sqltypes comparison API")
+			}
+		}
+	})
+	return nil, nil
+}
+
+// isSQLValue reports whether e's type is the sqltypes Value struct.
+func isSQLValue(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Value" && obj.Pkg() != nil &&
+		pathHasSuffix(obj.Pkg().Path(), "internal/sqltypes")
+}

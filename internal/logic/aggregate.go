@@ -113,22 +113,22 @@ func (t *translator) translateAggCond(sc *scope, agg *sqlparser.ScalarSubquery,
 	other sqlparser.Expr, op sqlparser.BinaryOp, flipped bool) (AggCond, error) {
 	q := agg.Query
 	if q.Union != nil {
-		return AggCond{}, fmt.Errorf("UNION is not allowed in aggregate subqueries of assertions")
+		return AggCond{}, fmt.Errorf("logic: UNION is not allowed in aggregate subqueries of assertions")
 	}
 	if q.Star || len(q.Columns) != 1 {
-		return AggCond{}, fmt.Errorf("aggregate subquery must project exactly one aggregate")
+		return AggCond{}, fmt.Errorf("logic: aggregate subquery must project exactly one aggregate")
 	}
 	fc, ok := q.Columns[0].Expr.(*sqlparser.FuncCall)
 	if !ok || !fc.IsAggregate() {
-		return AggCond{}, fmt.Errorf("scalar subqueries in assertions must be aggregates")
+		return AggCond{}, fmt.Errorf("logic: scalar subqueries in assertions must be aggregates")
 	}
 	if len(q.From) != 1 {
-		return AggCond{}, fmt.Errorf("aggregate subqueries in assertions must range over a single table")
+		return AggCond{}, fmt.Errorf("logic: aggregate subqueries in assertions must range over a single table")
 	}
 	table := strings.ToLower(q.From[0].Table)
 	cols, okT := t.cat.TableColumns(table)
 	if !okT {
-		return AggCond{}, fmt.Errorf("unknown table %s in aggregate subquery", table)
+		return AggCond{}, fmt.Errorf("logic: unknown table %s in aggregate subquery", table)
 	}
 	colIdx := func(e sqlparser.Expr) (int, bool) {
 		cr, isCol := e.(*sqlparser.ColumnRef)
@@ -154,7 +154,7 @@ func (t *translator) translateAggCond(sc *scope, agg *sqlparser.ScalarSubquery,
 		if !fc.Star {
 			ci, isInner := colIdx(fc.Args[0])
 			if !isInner {
-				return AggCond{}, fmt.Errorf("COUNT argument must be a column of %s", table)
+				return AggCond{}, fmt.Errorf("logic: COUNT argument must be a column of %s", table)
 			}
 			// COUNT(col) counts non-null values: an implicit filter.
 			cond.Filters = append(cond.Filters, AggFilter{Col: ci, Op: CmpIsNotNull})
@@ -163,18 +163,18 @@ func (t *translator) translateAggCond(sc *scope, agg *sqlparser.ScalarSubquery,
 		cond.Fn = AggSum
 		ci, isInner := colIdx(fc.Args[0])
 		if !isInner {
-			return AggCond{}, fmt.Errorf("SUM argument must be a column of %s", table)
+			return AggCond{}, fmt.Errorf("logic: SUM argument must be a column of %s", table)
 		}
 		cond.Col = ci
 	default:
-		return AggCond{}, fmt.Errorf("aggregate %s is not supported incrementally (COUNT and SUM only)", fc.Name)
+		return AggCond{}, fmt.Errorf("logic: aggregate %s is not supported incrementally (COUNT and SUM only)", fc.Name)
 	}
 
 	for _, c := range sqlparser.Conjuncts(q.Where) {
 		switch x := c.(type) {
 		case *sqlparser.Binary:
 			if !x.Op.IsComparison() {
-				return AggCond{}, fmt.Errorf("unsupported condition %s inside aggregate subquery", x.Op)
+				return AggCond{}, fmt.Errorf("logic: unsupported condition %s inside aggregate subquery", x.Op)
 			}
 			li, lInner := colIdx(x.L)
 			ri, rInner := colIdx(x.R)
@@ -192,12 +192,12 @@ func (t *translator) translateAggCond(sc *scope, agg *sqlparser.ScalarSubquery,
 				}
 				cond.Filters = append(cond.Filters, AggFilter{Col: ri, Op: cmpOpOf(x.Op).mirror(), T: term})
 			default:
-				return AggCond{}, fmt.Errorf("aggregate subquery conditions must compare a column of %s with an outer value", table)
+				return AggCond{}, fmt.Errorf("logic: aggregate subquery conditions must compare a column of %s with an outer value", table)
 			}
 		case *sqlparser.IsNull:
 			ci, isInner := colIdx(x.E)
 			if !isInner {
-				return AggCond{}, fmt.Errorf("IS NULL inside aggregate subquery must test a column of %s", table)
+				return AggCond{}, fmt.Errorf("logic: IS NULL inside aggregate subquery must test a column of %s", table)
 			}
 			op := CmpIsNull
 			if x.Negated {
@@ -205,7 +205,7 @@ func (t *translator) translateAggCond(sc *scope, agg *sqlparser.ScalarSubquery,
 			}
 			cond.Filters = append(cond.Filters, AggFilter{Col: ci, Op: op})
 		default:
-			return AggCond{}, fmt.Errorf("unsupported condition %T inside aggregate subquery", c)
+			return AggCond{}, fmt.Errorf("logic: unsupported condition %T inside aggregate subquery", c)
 		}
 	}
 

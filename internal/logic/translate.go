@@ -41,7 +41,7 @@ func Translate(name string, check sqlparser.Expr, cat Catalog) (*Translation, er
 			}
 			bodies = next
 			if len(bodies) > maxVariants {
-				return nil, fmt.Errorf("assertion %s: condition expands to more than %d conjunctive variants", name, maxVariants)
+				return nil, fmt.Errorf("logic: assertion %s: condition expands to more than %d conjunctive variants", name, maxVariants)
 			}
 		}
 		for i, b := range bodies {
@@ -56,7 +56,7 @@ func Translate(name string, check sqlparser.Expr, cat Catalog) (*Translation, er
 		}
 	}
 	if len(t.tr.Denials) == 0 {
-		return nil, fmt.Errorf("assertion %s: CHECK condition is a tautology (never violated)", name)
+		return nil, fmt.Errorf("logic: assertion %s: CHECK condition is a tautology (never violated)", name)
 	}
 	return t.tr, nil
 }
@@ -127,7 +127,7 @@ func (t *translator) dnf(e sqlparser.Expr, neg bool) ([][]sqlparser.Expr, error)
 				}
 			}
 			if len(out) > maxVariants {
-				return nil, fmt.Errorf("condition expands to more than %d DNF terms", maxVariants)
+				return nil, fmt.Errorf("logic: condition expands to more than %d DNF terms", maxVariants)
 			}
 			return out, nil
 		}
@@ -135,13 +135,13 @@ func (t *translator) dnf(e sqlparser.Expr, neg bool) ([][]sqlparser.Expr, error)
 			if neg {
 				nop, ok := x.Op.Negate()
 				if !ok {
-					return nil, fmt.Errorf("operator %s is not a condition", x.Op)
+					return nil, fmt.Errorf("logic: operator %s is not a condition", x.Op)
 				}
 				return [][]sqlparser.Expr{{&sqlparser.Binary{Op: nop, L: x.L, R: x.R}}}, nil
 			}
 			return [][]sqlparser.Expr{{x}}, nil
 		}
-		return nil, fmt.Errorf("operator %s is not a condition", x.Op)
+		return nil, fmt.Errorf("logic: operator %s is not a condition", x.Op)
 	case *sqlparser.Exists:
 		return [][]sqlparser.Expr{{&sqlparser.Exists{Negated: x.Negated != neg, Query: x.Query}}}, nil
 	case *sqlparser.InSubquery:
@@ -200,9 +200,9 @@ func (t *translator) dnf(e sqlparser.Expr, neg bool) ([][]sqlparser.Expr, error)
 			v := x.Value.Bool() != neg
 			return [][]sqlparser.Expr{{&sqlparser.Literal{Value: sqltypes.NewBool(v)}}}, nil
 		}
-		return nil, fmt.Errorf("literal %s is not a condition", x.Value)
+		return nil, fmt.Errorf("logic: literal %s is not a condition", x.Value)
 	}
-	return nil, fmt.Errorf("unsupported condition %T in assertion", e)
+	return nil, fmt.Errorf("logic: unsupported condition %T in assertion", e)
 }
 
 // --- condition application ---
@@ -218,18 +218,18 @@ func (t *translator) applyCond(b *Body, sc *scope, cond sqlparser.Expr) ([]*Body
 			}
 			return nil, nil
 		}
-		return nil, fmt.Errorf("literal %s is not a condition", x.Value)
+		return nil, fmt.Errorf("logic: literal %s is not a condition", x.Value)
 
 	case *sqlparser.Binary:
 		if !x.Op.IsComparison() {
-			return nil, fmt.Errorf("operator %s not supported in assertion condition", x.Op)
+			return nil, fmt.Errorf("logic: operator %s not supported in assertion condition", x.Op)
 		}
 		// Aggregate comparison: (SELECT AGG(...) FROM t WHERE ...) CMP value.
 		lAgg, lIsAgg := x.L.(*sqlparser.ScalarSubquery)
 		rAgg, rIsAgg := x.R.(*sqlparser.ScalarSubquery)
 		switch {
 		case lIsAgg && rIsAgg:
-			return nil, fmt.Errorf("comparing two aggregate subqueries is not supported")
+			return nil, fmt.Errorf("logic: comparing two aggregate subqueries is not supported")
 		case lIsAgg:
 			cond, err := t.translateAggCond(sc, lAgg, x.R, x.Op, false)
 			if err != nil {
@@ -299,7 +299,7 @@ func (t *translator) applyCond(b *Body, sc *scope, cond sqlparser.Expr) ([]*Body
 		}
 		proj := func(q *sqlparser.Select) (sqlparser.Expr, error) {
 			if q.Star || len(q.Columns) != 1 {
-				return nil, fmt.Errorf("IN subquery must project exactly one column")
+				return nil, fmt.Errorf("logic: IN subquery must project exactly one column")
 			}
 			return q.Columns[0].Expr, nil
 		}
@@ -308,7 +308,7 @@ func (t *translator) applyCond(b *Body, sc *scope, cond sqlparser.Expr) ([]*Body
 		}
 		return t.applyExists(b, sc, x.Query, proj, outer)
 	}
-	return nil, fmt.Errorf("unsupported condition %T in assertion", cond)
+	return nil, fmt.Errorf("logic: unsupported condition %T in assertion", cond)
 }
 
 // applyExists merges the subquery's translation into b. When proj is
@@ -386,7 +386,7 @@ func (t *translator) translateSelect(q *sqlparser.Select, parent *scope,
 		if !branch.Star {
 			for _, it := range branch.Columns {
 				if fc, isFn := it.Expr.(*sqlparser.FuncCall); isFn && fc.IsAggregate() {
-					return nil, nil, fmt.Errorf("aggregate %s is only supported in scalar comparisons, e.g. (SELECT %s(...) FROM t WHERE ...) <= k", fc.Name, fc.Name)
+					return nil, nil, fmt.Errorf("logic: aggregate %s is only supported in scalar comparisons, e.g. (SELECT %s(...) FROM t WHERE ...) <= k", fc.Name, fc.Name)
 				}
 			}
 		}
@@ -395,7 +395,7 @@ func (t *translator) translateSelect(q *sqlparser.Select, parent *scope,
 		for _, tr := range branch.From {
 			cols, ok := t.cat.TableColumns(tr.Table)
 			if !ok {
-				return nil, nil, fmt.Errorf("unknown table %s (assertions must reference base tables)", tr.Table)
+				return nil, nil, fmt.Errorf("logic: unknown table %s (assertions must reference base tables)", tr.Table)
 			}
 			t.slotSeq++
 			slot := t.slotSeq
@@ -410,7 +410,7 @@ func (t *translator) translateSelect(q *sqlparser.Select, parent *scope,
 			alias := strings.ToLower(tr.EffectiveAlias())
 			for _, e := range sc.entries {
 				if e.alias == alias {
-					return nil, nil, fmt.Errorf("duplicate alias %s in FROM", alias)
+					return nil, nil, fmt.Errorf("logic: duplicate alias %s in FROM", alias)
 				}
 			}
 			sc.entries = append(sc.entries, scopeEntry{alias: alias, slot: slot, cols: colIdx})
@@ -449,7 +449,7 @@ func (t *translator) translateSelect(q *sqlparser.Select, parent *scope,
 				}
 				bodies = next
 				if len(bodies) > maxVariants {
-					return nil, nil, fmt.Errorf("subquery expands to more than %d variants", maxVariants)
+					return nil, nil, fmt.Errorf("logic: subquery expands to more than %d variants", maxVariants)
 				}
 			}
 			if projExpr != nil {
@@ -485,7 +485,7 @@ func inNullProbe(q *sqlparser.Select) (*sqlparser.Select, error) {
 	var head, tail *sqlparser.Select
 	for branch := q; branch != nil; branch = branch.Union {
 		if branch.Star || len(branch.Columns) != 1 {
-			return nil, fmt.Errorf("IN subquery must project exactly one column")
+			return nil, fmt.Errorf("logic: IN subquery must project exactly one column")
 		}
 		p := branch.Columns[0].Expr
 		clone := &sqlparser.Select{
@@ -523,13 +523,13 @@ func (t *translator) resolveTerm(sc *scope, e sqlparser.Expr) (Term, error) {
 			}
 			return Const(sqltypes.NewFloat(-inner.Const.Float())), nil
 		}
-		return Term{}, fmt.Errorf("arithmetic over columns is not supported in assertions")
+		return Term{}, fmt.Errorf("logic: arithmetic over columns is not supported in assertions")
 	case *sqlparser.ColumnRef:
 		return t.resolveColumn(sc, x)
 	case *sqlparser.Binary:
-		return Term{}, fmt.Errorf("arithmetic/functions are not supported in assertions (the paper's fragment excludes them): %s", sqlparser.FormatExpr(e))
+		return Term{}, fmt.Errorf("logic: arithmetic/functions are not supported in assertions (the paper's fragment excludes them): %s", sqlparser.FormatExpr(e))
 	}
-	return Term{}, fmt.Errorf("unsupported scalar expression %T in assertion", e)
+	return Term{}, fmt.Errorf("logic: unsupported scalar expression %T in assertion", e)
 }
 
 func (t *translator) resolveColumn(sc *scope, cr *sqlparser.ColumnRef) (Term, error) {
@@ -549,7 +549,7 @@ func (t *translator) resolveColumn(sc *scope, cr *sqlparser.ColumnRef) (Term, er
 			}
 			ci, ok := hit.cols[name]
 			if !ok {
-				return Term{}, fmt.Errorf("%s has no column %s", qual, name)
+				return Term{}, fmt.Errorf("logic: %s has no column %s", qual, name)
 			}
 			return atomArg(cur.body, hit.slot, ci)
 		}
@@ -558,7 +558,7 @@ func (t *translator) resolveColumn(sc *scope, cr *sqlparser.ColumnRef) (Term, er
 		for i := range cur.entries {
 			if ci, ok := cur.entries[i].cols[name]; ok {
 				if fe != nil {
-					return Term{}, fmt.Errorf("ambiguous column %s", name)
+					return Term{}, fmt.Errorf("logic: ambiguous column %s", name)
 				}
 				fe = &cur.entries[i]
 				found = ci
@@ -569,9 +569,9 @@ func (t *translator) resolveColumn(sc *scope, cr *sqlparser.ColumnRef) (Term, er
 		}
 	}
 	if qual != "" {
-		return Term{}, fmt.Errorf("unknown table or alias %s", qual)
+		return Term{}, fmt.Errorf("logic: unknown table or alias %s", qual)
 	}
-	return Term{}, fmt.Errorf("unknown column %s", name)
+	return Term{}, fmt.Errorf("logic: unknown column %s", name)
 }
 
 func atomArg(b *Body, slot, col int) (Term, error) {
@@ -580,7 +580,7 @@ func atomArg(b *Body, slot, col int) (Term, error) {
 			return b.Lits[i].Atom.Args[col], nil
 		}
 	}
-	return Term{}, fmt.Errorf("internal: atom for slot %d not found", slot)
+	return Term{}, fmt.Errorf("logic: internal: atom for slot %d not found", slot)
 }
 
 // unify makes l and r equal within body b: by substitution when one side is
@@ -656,7 +656,7 @@ func (t *translator) checkSafety(b *Body) error {
 		for _, term := range []Term{bi.L, bi.R} {
 			// Unary builtins leave R as the zero term (empty name).
 			if !term.IsConst && term.Name != "" && !pos[term.Name] {
-				return fmt.Errorf("unsafe condition: variable %s of builtin %s is not bound by a positive literal", term.Name, bi)
+				return fmt.Errorf("logic: unsafe condition: variable %s of builtin %s is not bound by a positive literal", term.Name, bi)
 			}
 		}
 	}
@@ -665,7 +665,7 @@ func (t *translator) checkSafety(b *Body) error {
 		a.vars(vars)
 		for v := range vars {
 			if !pos[v] {
-				return fmt.Errorf("unsafe condition: variable %s of aggregate %s is not bound by a positive literal", v, a)
+				return fmt.Errorf("logic: unsafe condition: variable %s of aggregate %s is not bound by a positive literal", v, a)
 			}
 		}
 	}

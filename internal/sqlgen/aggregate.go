@@ -20,7 +20,7 @@ import (
 func (g *Generator) aggExprs(a logic.AggCond, bind bindings) ([]sqlparser.Expr, error) {
 	cols, ok := g.cat.TableColumns(a.Table)
 	if !ok {
-		return nil, fmt.Errorf("unknown table %s in aggregate condition", a.Table)
+		return nil, fmt.Errorf("sqlgen: unknown table %s in aggregate condition", a.Table)
 	}
 	bound, err := termExpr(a.Bound, bind)
 	if err != nil {

@@ -70,7 +70,7 @@ func tableName(a logic.Atom) (string, error) {
 	case logic.PredDel:
 		return storage.DelTable(a.Name), nil
 	}
-	return "", fmt.Errorf("internal: derived atom %s has no table", a.Name)
+	return "", fmt.Errorf("sqlgen: internal: derived atom %s has no table", a.Name)
 }
 
 // bindings maps variable names to the SQL expression that produces them.
@@ -93,7 +93,7 @@ func (g *Generator) bodySelect(body logic.Body, outer bindings) (*sqlparser.Sele
 		return nil, err
 	}
 	if len(expanded) == 0 {
-		return nil, fmt.Errorf("body %s is unsatisfiable (derived predicate with no rules)", body)
+		return nil, fmt.Errorf("sqlgen: body %s is unsatisfiable (derived predicate with no rules)", body)
 	}
 	var root *sqlparser.Select
 	var last *sqlparser.Select
@@ -133,10 +133,10 @@ func (g *Generator) simpleBodySelect(body logic.Body, outer bindings) (*sqlparse
 		}
 		cols, ok := g.cat.TableColumns(l.Atom.Name)
 		if !ok {
-			return nil, fmt.Errorf("unknown table %s", l.Atom.Name)
+			return nil, fmt.Errorf("sqlgen: unknown table %s", l.Atom.Name)
 		}
 		if len(cols) != len(l.Atom.Args) {
-			return nil, fmt.Errorf("arity mismatch for %s: %d args, %d columns", l.Atom.Name, len(l.Atom.Args), len(cols))
+			return nil, fmt.Errorf("sqlgen: arity mismatch for %s: %d args, %d columns", l.Atom.Name, len(l.Atom.Args), len(cols))
 		}
 		alias := g.freshAlias()
 		sel.From = append(sel.From, sqlparser.TableRef{Table: tbl, Alias: alias})
@@ -154,7 +154,7 @@ func (g *Generator) simpleBodySelect(body logic.Body, outer bindings) (*sqlparse
 		}
 	}
 	if len(sel.From) == 0 {
-		return nil, fmt.Errorf("body %s has no positive base literal to select from", body)
+		return nil, fmt.Errorf("sqlgen: body %s has no positive base literal to select from", body)
 	}
 
 	// Builtins.
@@ -233,7 +233,7 @@ func (g *Generator) negatedBaseSelect(a logic.Atom, bind bindings) (*sqlparser.S
 	}
 	cols, ok := g.cat.TableColumns(a.Name)
 	if !ok {
-		return nil, fmt.Errorf("unknown table %s", a.Name)
+		return nil, fmt.Errorf("sqlgen: unknown table %s", a.Name)
 	}
 	alias := g.freshAlias()
 	sel := &sqlparser.Select{Star: true, From: []sqlparser.TableRef{{Table: tbl, Alias: alias}}}
@@ -300,7 +300,7 @@ func (g *Generator) builtinExpr(bi logic.Builtin, bind bindings) (sqlparser.Expr
 	case logic.CmpGe:
 		op = sqlparser.OpGe
 	default:
-		return nil, fmt.Errorf("unsupported builtin operator %s", bi.Op)
+		return nil, fmt.Errorf("sqlgen: unsupported builtin operator %s", bi.Op)
 	}
 	return &sqlparser.Binary{Op: op, L: l, R: r}, nil
 }
@@ -312,7 +312,7 @@ func termExpr(t logic.Term, bind bindings) (sqlparser.Expr, error) {
 	if e, ok := bind[t.Name]; ok {
 		return e, nil
 	}
-	return nil, fmt.Errorf("variable %s is not bound (unsafe body)", t.Name)
+	return nil, fmt.Errorf("sqlgen: variable %s is not bound (unsafe body)", t.Name)
 }
 
 // instantiatedRule pairs a rule body with the bindings of its head formals.
@@ -326,7 +326,7 @@ type instantiatedRule struct {
 // renamed fresh to avoid collisions.
 func (g *Generator) instantiateRule(r logic.Rule, args []logic.Term, callerBind bindings) (instantiatedRule, error) {
 	if len(args) != len(r.Head.Args) {
-		return instantiatedRule{}, fmt.Errorf("derived predicate %s called with %d args, rules have %d",
+		return instantiatedRule{}, fmt.Errorf("sqlgen: derived predicate %s called with %d args, rules have %d",
 			r.Head.Name, len(args), len(r.Head.Args))
 	}
 	body := r.Body.Clone()
@@ -368,7 +368,7 @@ func (g *Generator) instantiateRule(r logic.Rule, args []logic.Term, callerBind 
 // with their rule bodies (cartesian product over rules), recursively.
 func (g *Generator) expandPositiveDerived(body logic.Body, depth int) ([]logic.Body, error) {
 	if depth > 16 {
-		return nil, fmt.Errorf("derived predicate inlining exceeds depth 16")
+		return nil, fmt.Errorf("sqlgen: derived predicate inlining exceeds depth 16")
 	}
 	idx := -1
 	for i, l := range body.Lits {
@@ -405,7 +405,7 @@ func (g *Generator) expandPositiveDerived(body logic.Body, depth int) ([]logic.B
 		}
 		out = append(out, subs...)
 		if len(out) > maxExpansion {
-			return nil, fmt.Errorf("positive derived expansion exceeds %d bodies", maxExpansion)
+			return nil, fmt.Errorf("sqlgen: positive derived expansion exceeds %d bodies", maxExpansion)
 		}
 	}
 	return out, nil
@@ -415,7 +415,7 @@ func (g *Generator) expandPositiveDerived(body logic.Body, depth int) ([]logic.B
 // replaced by the call arguments, locals renamed fresh.
 func (g *Generator) inlineRuleLogic(r logic.Rule, args []logic.Term) (logic.Body, error) {
 	if len(args) != len(r.Head.Args) {
-		return logic.Body{}, fmt.Errorf("derived predicate %s called with %d args, rules have %d",
+		return logic.Body{}, fmt.Errorf("sqlgen: derived predicate %s called with %d args, rules have %d",
 			r.Head.Name, len(args), len(r.Head.Args))
 	}
 	body := r.Body.Clone()
