@@ -29,11 +29,12 @@ test:
 ## intra-view partitioned-check tests (partition parity + concurrent
 ## partitioned commits), the observability tests (registry/tracer
 ## primitives plus concurrent group commits against Stats()/trace-ring
-## readers), the WAL/fault-injection tests (crash-recovery matrix,
+## readers and against the ops server's /metrics + /debug/traces
+## scrapers), the WAL/fault-injection tests (crash-recovery matrix,
 ## torn-tail handling, fsync policies), the differential-oracle corpus
 ## replays, and the parser round-trip seeds.
 test-race:
-	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/ ./internal/sched/ ./internal/obs/ ./internal/wal/ ./internal/difftest/ ./internal/sqlparser/
+	$(GO) test -race ./internal/harness/ ./internal/engine/ ./internal/core/ ./internal/storage/ ./internal/sched/ ./internal/obs/ ./internal/obs/opsserver/ ./internal/wal/ ./internal/difftest/ ./internal/sqlparser/
 
 ## fuzz: budgeted smoke run of the fuzz targets — the differential oracle
 ## (incremental vs baseline verdicts across all commit-check modes), the

@@ -7,12 +7,21 @@
 //
 //	tintin [-tpch n] [-script file] [-workers n] [-split dur] [-trace] [-trace-slow dur]
 //	       [-db file] [-wal dir] [-fsync always|interval|off]
+//	       [-debug-addr host:port] [-log level] [-trace-out file.json]
 //
 // With -tpch n, a TPC-H database with n*1000 orders is pre-loaded.
 // -workers enables the parallel commit-check scheduler; -split sets its
 // intra-view split threshold. -trace records a span tree per safeCommit
 // (readable via \trace); -trace-slow additionally promotes traces slower
 // than the given duration to a JSON line on stderr.
+//
+// -debug-addr serves the operational endpoints (/metrics, /healthz,
+// /readyz, /debug/traces, /debug/pprof/*, /debug/vars) on the given
+// address for the lifetime of the shell; /readyz reports 503 until any
+// durable recovery has completed. -log enables structured logging to
+// stderr at the given level (debug, info, warn, error; off disables).
+// -trace-out writes every trace still in the ring at exit to the named
+// file in the Chrome trace-event format, ready for Perfetto.
 //
 // -db names a snapshot file: loaded on start when it exists, saved on
 // exit. -wal enables the durability subsystem: every committed batch is
@@ -29,6 +38,7 @@
 //	\explain NAME        show the compiled plans of an assertion as JSON
 //	\stats [scrub]       compilation statistics plus runtime metrics
 //	\trace [scrub]       show the last safeCommit's span tree
+//	\trace chrome [scrub]  dump the trace ring as Chrome trace-event JSON
 //	\tables              list tables with row counts
 //	\save FILE           save the full tool state (db + assertions) to FILE
 //	\load FILE           replace the session with the state saved in FILE
@@ -46,10 +56,12 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"tintin/internal/core"
 	"tintin/internal/engine"
 	"tintin/internal/obs"
+	"tintin/internal/obs/opsserver"
 	"tintin/internal/sqlparser"
 	"tintin/internal/storage"
 	"tintin/internal/tpch"
@@ -75,12 +87,19 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	dbPath := fs.String("db", "", "snapshot file: loaded on start when present, saved on exit")
 	walDir := fs.String("wal", "", "durability directory: WAL + checkpoints, recovered on start")
 	fsync := fs.String("fsync", "always", "WAL fsync policy: always, interval or off")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /readyz, /debug/* on this address")
+	logLevel := fs.String("log", "off", "structured log level on stderr: debug, info, warn, error, off")
+	traceOut := fs.String("trace-out", "", "write the trace ring to this file as Chrome trace-event JSON on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	policy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
 		return err
+	}
+	level, logEnabled, ok := obs.ParseLogLevel(*logLevel)
+	if !ok {
+		return fmt.Errorf("unknown -log level %q (want debug, info, warn, error or off)", *logLevel)
 	}
 
 	opts := core.DefaultOptions()
@@ -89,10 +108,13 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	// The shell always carries a metrics registry so \stats has a runtime
 	// section; tracing stays opt-in (span recording is per-commit work).
 	opts.Metrics = obs.NewRegistry()
-	opts.Trace = *trace || *traceSlow > 0
+	opts.Trace = *trace || *traceSlow > 0 || *traceOut != ""
 	opts.SlowTrace = *traceSlow
 	opts.WALDir = *walDir
 	opts.Fsync = policy
+	if logEnabled {
+		opts.Logger = obs.TextLogger(os.Stderr, level)
+	}
 
 	// build constructs the fresh-start tool: the -db snapshot when one
 	// exists, else TPC-H or an empty database. With -wal, OpenDurable calls
@@ -130,6 +152,33 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	}
 
 	s := &session{opts: opts}
+
+	// The debug server comes up before the tool so a recovery in progress is
+	// observable: /metrics and /healthz serve immediately, /readyz holds 503
+	// until the tool (recovered or fresh) is standing. The tracer is fetched
+	// through the session because \load swaps the tool out underneath it.
+	if *debugAddr != "" {
+		var ready atomic.Bool
+		s.ready = &ready
+		srv := opsserver.New(opsserver.Options{
+			Metrics: opts.Metrics,
+			Tracer: func() *obs.Tracer {
+				if s.tool == nil {
+					return nil
+				}
+				return s.tool.Tracer()
+			},
+			Ready:  ready.Load,
+			Logger: opts.Logger,
+		})
+		addr, err := srv.Start(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "debug server listening on http://%s\n", addr)
+	}
+
 	if *walDir != "" {
 		recovered := true
 		s.tool, err = core.OpenDurable(opts, func() (*core.Tool, error) {
@@ -150,6 +199,9 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 			return err
 		}
 	}
+	if s.ready != nil {
+		s.ready.Store(true)
+	}
 
 	var in io.Reader = stdin
 	if *script != "" {
@@ -169,13 +221,36 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "saved %s\n", *dbPath)
 	}
+	if *traceOut != "" {
+		if err := writeChromeFile(s.tool, *traceOut); err != nil {
+			return fmt.Errorf("writing %s: %w", *traceOut, err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", *traceOut)
+	}
 	return s.tool.Close()
 }
 
-// session holds the shell's current tool; \load swaps it out.
+// session holds the shell's current tool; \load swaps it out. ready is the
+// debug server's /readyz gate (nil without -debug-addr), flipped once the
+// tool — recovered or fresh — is standing.
 type session struct {
-	tool *core.Tool
-	opts core.Options
+	tool  *core.Tool
+	opts  core.Options
+	ready *atomic.Bool
+}
+
+// writeChromeFile dumps the tool's trace ring to path in the Chrome
+// trace-event format (open in Perfetto or chrome://tracing).
+func writeChromeFile(tool *core.Tool, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, tool.Tracer().Traces()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func saveTool(tool *core.Tool, path string) error {
@@ -378,6 +453,13 @@ func meta(s *session, cmd string, out io.Writer) error {
 		return nil
 
 	case "\\trace":
+		if len(fields) > 1 && fields[1] == "chrome" {
+			trs := tool.Tracer().Traces()
+			if len(fields) > 2 && fields[2] == "scrub" {
+				trs = obs.ScrubTraces(trs)
+			}
+			return obs.WriteChromeTrace(out, trs)
+		}
 		tr := tool.LastTrace()
 		if tr == nil {
 			fmt.Fprintln(out, "no trace recorded (run with -trace and commit something)")

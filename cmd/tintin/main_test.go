@@ -1,10 +1,14 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 const demoScript = `
@@ -339,5 +343,191 @@ func TestStatsTraceGolden(t *testing.T) {
 	}
 	if out != string(want) {
 		t.Fatalf("\\stats/\\trace output drifted from %s (set UPDATE_GOLDEN=1 to regenerate)\n--- got ---\n%s", golden, out)
+	}
+}
+
+const recoverySeedScript = `
+CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, o_totalprice REAL);
+CREATE TABLE lineitem (
+  l_orderkey INTEGER NOT NULL,
+  l_linenumber INTEGER NOT NULL,
+  PRIMARY KEY (l_orderkey, l_linenumber)
+);
+\install
+CREATE ASSERTION everyOrderHasLines CHECK(
+  NOT EXISTS(
+    SELECT * FROM orders AS o
+    WHERE NOT EXISTS (
+      SELECT * FROM lineitem AS l
+      WHERE l.l_orderkey = o.o_orderkey)));
+INSERT INTO orders VALUES (1, 10.5);
+INSERT INTO lineitem VALUES (1, 1);
+CALL safeCommit;
+INSERT INTO orders VALUES (2, 20.0);
+INSERT INTO lineitem VALUES (2, 1);
+CALL safeCommit;
+\quit
+`
+
+const recoveryStatsScript = `
+INSERT INTO orders VALUES (3, 30.0);
+INSERT INTO lineitem VALUES (3, 1);
+CALL safeCommit;
+\stats scrub
+\quit
+`
+
+// TestRecoveryStatsGolden pins the recovered session's \stats scrub dump
+// byte for byte: a first session commits through a WAL, a second recovers
+// it, and its runtime section must carry the full tintin_wal_recovery_*
+// family — recoveries, replayed records, snapshot-load and replay
+// histograms (one sample each, durations scrubbed) and the torn-truncation
+// counter at zero. The shell runs chdir'ed into a temp dir with a relative
+// -wal path so the recovery banner is deterministic. Regenerate with
+// UPDATE_GOLDEN=1.
+func TestRecoveryStatsGolden(t *testing.T) {
+	golden, err := filepath.Abs("testdata/recovery.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	runShell(t, recoverySeedScript, "-wal", "wal")
+	out := runShell(t, recoveryStatsScript, "-wal", "wal")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Fatalf("recovered \\stats output drifted from %s (set UPDATE_GOLDEN=1 to regenerate)\n--- got ---\n%s", golden, out)
+	}
+}
+
+// addrCapture is an io.Writer that watches the shell's output stream for
+// the debug-server banner and publishes the bound address.
+type addrCapture struct {
+	mu    sync.Mutex
+	b     strings.Builder
+	addr  string
+	found chan struct{}
+}
+
+func (c *addrCapture) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.b.Write(p)
+	if c.addr == "" {
+		s := c.b.String()
+		if i := strings.Index(s, "debug server listening on http://"); i >= 0 {
+			rest := s[i+len("debug server listening on http://"):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 {
+				c.addr = rest[:j]
+				close(c.found)
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// TestDebugAddrServes boots the shell with -debug-addr :0, waits for the
+// banner, and scrapes /healthz, /readyz and /metrics over real TCP while
+// the session is live.
+func TestDebugAddrServes(t *testing.T) {
+	cap := &addrCapture{found: make(chan struct{})}
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-debug-addr", "127.0.0.1:0"}, pr, cap)
+	}()
+	select {
+	case <-cap.found:
+	case err := <-done:
+		t.Fatalf("shell exited before serving: %v\noutput:\n%s", err, cap.b.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("no debug-server banner within 10s")
+	}
+
+	for path, want := range map[string]string{
+		"/healthz": "ok",
+		"/readyz":  "ready",
+		"/metrics": "# TYPE",
+	} {
+		resp, err := http.Get("http://" + cap.addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), want) {
+			t.Fatalf("GET %s = %d %q, want 200 containing %q", path, resp.StatusCode, body, want)
+		}
+	}
+
+	if _, err := io.WriteString(pw, "\\quit\n"); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestTraceChromeMeta pins \trace chrome: a Chrome trace-event JSON dump
+// of the ring, deterministic under scrub.
+func TestTraceChromeMeta(t *testing.T) {
+	out := runShell(t, `
+CREATE TABLE t (a INTEGER PRIMARY KEY);
+\install
+INSERT INTO t VALUES (1);
+CALL safeCommit;
+\trace chrome scrub
+\quit
+`, "-trace")
+	if !strings.Contains(out, `"traceEvents"`) || !strings.Contains(out, `"name":"safecommit"`) {
+		t.Fatalf("\\trace chrome output missing trace events:\n%s", out)
+	}
+	if strings.Contains(out, `"ts":`) && !strings.Contains(out, `"ts":0`) {
+		t.Fatalf("scrubbed chrome dump carries wall-clock timestamps:\n%s", out)
+	}
+}
+
+// TestTraceOutFlag writes the ring to a file on exit.
+func TestTraceOutFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	out := runShell(t, `
+CREATE TABLE t (a INTEGER PRIMARY KEY);
+\install
+INSERT INTO t VALUES (1);
+CALL safeCommit;
+\quit
+`, "-trace-out", path)
+	if !strings.Contains(out, "wrote "+path) {
+		t.Fatalf("missing trace-out banner:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"traceEvents"`) || !strings.Contains(string(data), `"name":"safecommit"`) {
+		t.Fatalf("trace file missing span events:\n%s", data)
+	}
+}
+
+func TestBadLogFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-log", "verbose"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("bad -log accepted")
 	}
 }

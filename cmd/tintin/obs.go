@@ -79,7 +79,7 @@ func renderSpan(sp obs.SpanSnapshot, depth int, scrub bool, out io.Writer) {
 	fmt.Fprint(out, strings.Repeat("  ", depth), sp.Name)
 	for _, a := range sp.Attrs {
 		v := a.Value()
-		if scrub && a.Key == "worker" {
+		if scrub && obs.ScrubAttrKey(a.Key) {
 			v = "_"
 		}
 		fmt.Fprintf(out, " %s=%s", a.Key, v)

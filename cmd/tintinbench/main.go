@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tintinbench [-exp e1|e2|e3|e4|all] [-orders-per-gb n] [-gbs 1,2,3,4,5] [-mbs 1,5] [-quick] [-workers n] [-perview] [-metrics] [-trace-slow dur] [-wal dir] [-fsync policy]
+//	tintinbench [-exp e1|e2|e3|e4|all] [-orders-per-gb n] [-gbs 1,2,3,4,5] [-mbs 1,5] [-quick] [-workers n] [-perview] [-metrics] [-trace-slow dur] [-wal dir] [-fsync policy] [-debug-addr host:port] [-log level]
 //
 // -workers > 1 runs every safeCommit check through the parallel
 // commit-check scheduler (internal/sched) with that many workers; results
@@ -25,6 +25,11 @@
 // (per-tool WAL directories under the given path), so the reported commit
 // times include the WAL append and the fsync cost selected by -fsync
 // (always, interval or off).
+//
+// -debug-addr serves the ops endpoints (/metrics, /healthz, /readyz,
+// /debug/pprof/*, ...) on the given address while the experiments run, so
+// a long E1 sweep can be scraped and profiled live; it implies -metrics.
+// -log enables structured lifecycle logging on stderr at the given level.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 
 	"tintin/internal/harness"
 	"tintin/internal/obs"
+	"tintin/internal/obs/opsserver"
 	"tintin/internal/wal"
 )
 
@@ -60,12 +66,18 @@ func run(args []string) error {
 	traceSlow := fs.Duration("trace-slow", 0, "trace commits and promote those slower than this to a JSON span tree on stderr (0 = off)")
 	walDir := fs.String("wal", "", "enable durability: per-tool WAL directories under this path, appends on the timed commit path")
 	fsync := fs.String("fsync", "always", "WAL fsync policy when -wal is set: always, interval or off")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /debug/* on this address during the run (implies -metrics)")
+	logLevel := fs.String("log", "off", "structured log level on stderr: debug, info, warn, error, off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	policy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
 		return err
+	}
+	level, logEnabled, ok := obs.ParseLogLevel(*logLevel)
+	if !ok {
+		return fmt.Errorf("unknown -log level %q (want debug, info, warn, error or off)", *logLevel)
 	}
 
 	cfg := harness.Config{OrdersPerGB: *ordersPerGB, Seed: *seed}
@@ -87,8 +99,20 @@ func run(args []string) error {
 		cfg.WALDir = *walDir
 		cfg.Fsync = policy
 	}
-	if *metrics {
+	if logEnabled {
+		cfg.Logger = obs.TextLogger(os.Stderr, level)
+	}
+	if *metrics || *debugAddr != "" {
 		cfg.Metrics = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		srv := opsserver.New(opsserver.Options{Metrics: cfg.Metrics, Logger: cfg.Logger})
+		addr, err := srv.Start(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("debug server listening on http://%s\n", addr)
 	}
 	dumpMetrics := func() error {
 		if cfg.Metrics == nil {

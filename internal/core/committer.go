@@ -21,7 +21,7 @@ import (
 // serving a committer, updates must go through it (a direct SafeCommit
 // would race the leader and is truncated away by the next batch anyway).
 func (t *Tool) NewCommitter(opts ...sched.CommitterOption) *sched.Committer[*CommitResult] {
-	base := []sched.CommitterOption{sched.WithKeyFn(t.conflictKeys), sched.WithMetrics(t.committerMetrics())}
+	base := []sched.CommitterOption{sched.WithKeyFn(t.conflictKeys), sched.WithMetrics(t.committerMetrics()), sched.WithLogger(t.opts.Logger)}
 	return sched.NewCommitter(t.commitBatch, append(base, opts...)...)
 }
 

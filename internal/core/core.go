@@ -99,6 +99,12 @@ type Options struct {
 	// FaultInjector, when set, simulates crashes at named WAL points
 	// (tests only; see wal.Injector).
 	FaultInjector *wal.Injector
+	// Logger receives structured lifecycle events — durable recovery,
+	// checkpoints, torn-tail truncations, group-committer lifecycle — via
+	// the nil-safe obs.Logger. Nil disables logging; the commit hot path
+	// never logs either way (the obsdirect analyzer rejects log/slog calls
+	// reachable from safeCommit, excepting reasoned waivers).
+	Logger *obs.Logger
 }
 
 // DefaultOptions enables everything, matching the paper's tool.

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"tintin/internal/obs"
 	"tintin/internal/wal"
@@ -41,18 +42,34 @@ func storeOptions(opts Options) wal.Options {
 		Sync:         opts.Fsync,
 		SyncInterval: opts.FsyncInterval,
 		Injector:     opts.FaultInjector,
+		Logger:       opts.Logger,
 	}
 	if reg := opts.Metrics; reg != nil {
 		o.Metrics = wal.Metrics{
-			Appends:     reg.Counter("tintin_wal_appends_total"),
-			AppendBytes: reg.Counter("tintin_wal_append_bytes_total"),
-			Fsyncs:      reg.Counter("tintin_wal_fsyncs_total"),
-			FsyncNS:     reg.Histogram("tintin_wal_fsync_ns"),
-			Checkpoints: reg.Counter("tintin_wal_checkpoints_total"),
-			Replayed:    reg.Counter("tintin_wal_replayed_records_total"),
+			Appends:         reg.Counter("tintin_wal_appends_total"),
+			AppendBytes:     reg.Counter("tintin_wal_append_bytes_total"),
+			Fsyncs:          reg.Counter("tintin_wal_fsyncs_total"),
+			FsyncNS:         reg.Histogram("tintin_wal_fsync_ns"),
+			Checkpoints:     reg.Counter("tintin_wal_checkpoints_total"),
+			Replayed:        reg.Counter("tintin_wal_replayed_records_total"),
+			TornTruncations: reg.Counter("tintin_wal_recovery_torn_truncations_total"),
 		}
 	}
 	return o
+}
+
+// recoveryMetrics publishes the tintin_wal_recovery_* family after a
+// completed recovery: how long the snapshot took to load, how many records
+// the tail replay applied and how long it ran. Registry lookups are fine
+// here — recovery is a cold path, entered once per process.
+func recoveryMetrics(reg *obs.Registry, snapLoad, replay time.Duration, replayed int) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("tintin_wal_recoveries_total").Inc()
+	reg.Histogram("tintin_wal_recovery_snapshot_load_ns").ObserveDuration(snapLoad)
+	reg.Histogram("tintin_wal_recovery_replay_ns").ObserveDuration(replay)
+	reg.Counter("tintin_wal_recovery_replayed_records_total").Add(int64(replayed))
 }
 
 // Durable reports whether this tool has a WAL store attached.
@@ -118,15 +135,31 @@ func OpenDurable(opts Options, init func() (*Tool, error)) (*Tool, error) {
 			st.Close()
 			return nil, err
 		}
+		opts.Logger.Info("durability: initialized fresh store", "dir", opts.WALDir)
 		return tool, nil
 	}
 
+	opts.Logger.Info("recovery: starting", "dir", opts.WALDir,
+		"snapshot_bytes", len(snap), "wal_records", st.TailLen())
+	loadStart := time.Now()
 	tool, err := LoadTool(bytes.NewReader(snap), opts)
 	if err != nil {
 		st.Close()
 		return nil, fmt.Errorf("tintin: recovering %s: %w", opts.WALDir, err)
 	}
+	snapLoad := time.Since(loadStart)
+
+	// The recovery span tree parallels the commit one: the tool's tracer
+	// exists once LoadTool built it, so the snapshot-load duration rides as
+	// an attribute while replay and compaction are timed live.
+	trace := tool.tracer.Start("recovery")
+	root := trace.Root()
+	root.SetAttrInt("snapshot_bytes", int64(len(snap)))
+	root.SetAttrInt("snapshot_load_ns", int64(snapLoad))
+
 	stale := st.TailLen()
+	rs := root.Child("replay")
+	replayStart := time.Now()
 	replayed, err := st.Replay(func(seq uint64, payload []byte) error {
 		// Each record holds its commit's complete normalized pending set;
 		// anything staged-but-uncommitted in the snapshot was consumed by
@@ -137,7 +170,11 @@ func OpenDurable(opts Options, init func() (*Tool, error)) (*Tool, error) {
 		}
 		return tool.db.ApplyEvents()
 	})
+	replayDur := time.Since(replayStart)
+	rs.SetAttrInt("records", int64(replayed))
+	rs.End()
 	if err != nil {
+		trace.Finish()
 		st.Close()
 		return nil, fmt.Errorf("tintin: recovering %s: %w", opts.WALDir, err)
 	}
@@ -146,11 +183,20 @@ func OpenDurable(opts Options, init func() (*Tool, error)) (*Tool, error) {
 		// Compact what we just replayed (or what a finished checkpoint
 		// already covers) so the next crash recovers from the snapshot
 		// alone. replayed==0 && stale>0 is the crash-mid-checkpoint case.
-		if err := t0Checkpoint(tool, replayed); err != nil {
+		cs := root.Child("checkpoint")
+		err := t0Checkpoint(tool, replayed)
+		cs.End()
+		if err != nil {
+			trace.Finish()
 			st.Close()
 			return nil, err
 		}
 	}
+	trace.Finish()
+	recoveryMetrics(opts.Metrics, snapLoad, replayDur, replayed)
+	opts.Logger.Info("recovery: complete", "dir", opts.WALDir,
+		"snapshot_load_ns", int64(snapLoad), "replayed_records", replayed,
+		"replay_ns", int64(replayDur))
 	return tool, nil
 }
 
@@ -207,6 +253,7 @@ func (t *Tool) Checkpoint() error {
 		return fmt.Errorf("tintin: durability not enabled")
 	}
 	t.wal.since = 0
+	//tintin:allow obsdirect checkpoint logging fires once per CheckpointEvery (256) commits, amortized off the steady hot path
 	return t.wal.store.Checkpoint(t.Save)
 }
 

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"testing"
@@ -470,3 +472,98 @@ func TestRejectedCommitAppendsNothing(t *testing.T) {
 
 func ival(i int) sqltypes.Value     { return sqltypes.NewInt(int64(i)) }
 func fval(f float64) sqltypes.Value { return sqltypes.NewFloat(f) }
+
+// TestRecoveryObservability pins the recovery instrumentation end to end:
+// an unclean restart publishes the tintin_wal_recovery_* family (visible in
+// \stats via the registry snapshot), records a recovery span tree with
+// replay and checkpoint children, and logs the start/complete lifecycle.
+func TestRecoveryObservability(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.WALDir = dir
+	opts.CheckpointEvery = 100
+	opts.Metrics = obs.NewRegistry()
+
+	tool, err := OpenDurable(opts, buildFreshTool(t, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := tool.Engine()
+	for i := 3; i <= 5; i++ {
+		mustExec(t, eng, fmt.Sprintf(`INSERT INTO orders VALUES (%d, %d.0)`, i, i*10))
+		mustExec(t, eng, fmt.Sprintf(`INSERT INTO lineitem VALUES (%d, 1, %d)`, i, i))
+		if res, err := tool.SafeCommit(); err != nil || !res.Committed {
+			t.Fatalf("commit %d: %+v, %v", i, res, err)
+		}
+	}
+	// No Close: recovery must replay the three records.
+
+	var logBuf bytes.Buffer
+	ropts := DefaultOptions()
+	ropts.WALDir = dir
+	ropts.Metrics = obs.NewRegistry()
+	ropts.Trace = true
+	ropts.Logger = obs.TextLogger(&logBuf, slog.LevelInfo)
+	recovered, err := OpenDurable(ropts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+
+	snap := ropts.Metrics.Snapshot()
+	if v := snap.Counters["tintin_wal_recoveries_total"]; v != 1 {
+		t.Fatalf("recoveries = %d, want 1", v)
+	}
+	if v := snap.Counters["tintin_wal_recovery_replayed_records_total"]; v != 3 {
+		t.Fatalf("recovery replayed records = %d, want 3", v)
+	}
+	for _, h := range []string{"tintin_wal_recovery_snapshot_load_ns", "tintin_wal_recovery_replay_ns"} {
+		hs, ok := snap.Histograms[h]
+		if !ok || hs.Count != 1 {
+			t.Fatalf("%s: count=%d ok=%v, want one sample", h, hs.Count, ok)
+		}
+	}
+	if _, ok := snap.Counters["tintin_wal_recovery_torn_truncations_total"]; !ok {
+		t.Fatal("torn-truncation counter not registered")
+	}
+	// The same snapshot backs Stats().Runtime — what \stats renders.
+	if rt := recovered.Stats().Runtime; rt == nil || rt.Counters["tintin_wal_recoveries_total"] != 1 {
+		t.Fatal("recovery metrics not visible through Stats()")
+	}
+
+	// The recovery span tree: replay (with the record count) and the
+	// compaction checkpoint as children of one recovery root.
+	var rec *obs.TraceSnapshot
+	for _, tr := range recovered.Tracer().Traces() {
+		if tr.Root.Name == "recovery" {
+			trc := tr
+			rec = &trc
+		}
+	}
+	if rec == nil {
+		t.Fatal("no recovery trace recorded")
+	}
+	var names []string
+	for _, c := range rec.Root.Children {
+		names = append(names, c.Name)
+	}
+	if len(names) != 2 || names[0] != "replay" || names[1] != "checkpoint" {
+		t.Fatalf("recovery children = %v, want [replay checkpoint]", names)
+	}
+	records := ""
+	for _, a := range rec.Root.Children[0].Attrs {
+		if a.Key == "records" {
+			records = a.Value()
+		}
+	}
+	if records != "3" {
+		t.Fatalf("replay records attr = %q, want 3", records)
+	}
+
+	out := logBuf.String()
+	for _, want := range []string{"recovery: starting", "wal_records=3", "recovery: complete", "replayed_records=3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("recovery log missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -46,6 +46,11 @@ type Config struct {
 	// derives its table from the per-view histograms — and creates a private
 	// one when this is nil.
 	Metrics *obs.Registry
+	// Logger, when set, receives the lifecycle events of every experiment
+	// tool — WAL checkpoints, torn-tail truncations, committer shutdowns
+	// (cmd/tintinbench -log). Nil disables logging; the timed commit path
+	// never logs either way.
+	Logger *obs.Logger
 	// SlowTrace, when positive, enables commit tracing on every experiment
 	// tool and promotes traces slower than this threshold to a JSON line on
 	// stderr (cmd/tintinbench -trace-slow) — the way to see the span
@@ -67,6 +72,7 @@ func (c Config) options() core.Options {
 	opts := core.DefaultOptions()
 	opts.Workers = c.Workers
 	opts.Metrics = c.Metrics
+	opts.Logger = c.Logger
 	if c.SlowTrace > 0 {
 		opts.Trace = true
 		opts.SlowTrace = c.SlowTrace

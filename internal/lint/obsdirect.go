@@ -6,24 +6,33 @@ import (
 	"golang.org/x/tools/go/analysis"
 )
 
-// ObsDirectAnalyzer enforces the direct-pointer metrics discipline: the
-// commit path must never look a metric up in an obs.Registry — lookups
-// take the registry mutex and build the labeled name, which is exactly the
-// overhead the +0-alloc guarantee (make bench-obs) forbids. Instruments
-// are resolved once at construction (toolMetrics, Pool.WithMetrics, ...)
-// and the hot path touches only the resolved pointers.
+// ObsDirectAnalyzer enforces the observability disciplines of the commit
+// path:
+//
+//   - No obs.Registry lookups — lookups take the registry mutex and build
+//     the labeled name, exactly the overhead the +0-alloc guarantee (make
+//     bench-obs) forbids. Instruments are resolved once at construction
+//     (toolMetrics, Pool.WithMetrics, ...) and the hot path touches only
+//     the resolved pointers.
+//   - No structured logging — every log/slog call (and therefore every
+//     obs.Logger method, which wraps one) formats and allocates. Logging
+//     is lifecycle-time only: recovery, checkpoints, committer start/stop.
+//
+// Both are the same reachability question, answered over the shared
+// runReach machinery with one fact type.
 var ObsDirectAnalyzer = &analysis.Analyzer{
 	Name: "obsdirect",
-	Doc: "no obs.Registry lookups reachable from the commit path\n\n" +
+	Doc: "no obs.Registry lookups or slog calls reachable from the commit path\n\n" +
 		"Registry.Counter/Gauge/Histogram and friends are construction-time\n" +
-		"wiring: they lock the registry and intern the metric name. The\n" +
-		"commit path works against direct instrument pointers resolved at\n" +
-		"construction, keeping the instrumented hot path at +0 allocations.",
+		"wiring: they lock the registry and intern the metric name. log/slog\n" +
+		"calls format and allocate. The commit path works against direct\n" +
+		"instrument pointers resolved at construction and never logs, keeping\n" +
+		"the instrumented hot path at +0 allocations.",
 	Requires:  []*analysis.Analyzer{AllowAnalyzer},
 	FactTypes: []analysis.Fact{(*RegistryLookupFact)(nil)},
 	Run: func(pass *analysis.Pass) (interface{}, error) {
 		return runReach(pass, reachConfig{
-			isIntrinsic: isRegistryLookup,
+			isIntrinsic: isObsIntrinsic,
 			importFact: func(pass *analysis.Pass, fn *types.Func) (string, bool) {
 				var f RegistryLookupFact
 				if pass.ImportObjectFact(fn, &f) {
@@ -34,19 +43,29 @@ var ObsDirectAnalyzer = &analysis.Analyzer{
 			exportFact: func(pass *analysis.Pass, fn *types.Func, chain string) {
 				pass.ExportObjectFact(fn, &RegistryLookupFact{Chain: chain})
 			},
-			verb: "performs a metrics-registry lookup; resolve direct instrument pointers at construction instead",
+			verb: "is off-limits on the commit path: resolve direct instrument pointers at construction and keep logging out of safeCommit",
 		})
 	},
 }
 
 // RegistryLookupFact marks a function that can transitively perform an
-// obs.Registry instrument lookup; Chain is a witness path to it.
+// obs.Registry instrument lookup or a log/slog call; Chain is a witness
+// path to it.
 type RegistryLookupFact struct{ Chain string }
 
 // AFact marks RegistryLookupFact as a serializable analysis fact.
 func (*RegistryLookupFact) AFact() {}
 
-func (f *RegistryLookupFact) String() string { return "registry lookup via " + f.Chain }
+func (f *RegistryLookupFact) String() string { return "obs intrinsic via " + f.Chain }
+
+// isObsIntrinsic identifies the banned operations: registry instrument
+// lookups and structured-logging calls.
+func isObsIntrinsic(fn *types.Func) (string, bool) {
+	if desc, ok := isRegistryLookup(fn); ok {
+		return desc, true
+	}
+	return isSlogCall(fn)
+}
 
 // isRegistryLookup identifies the obs.Registry instrument-lookup methods.
 func isRegistryLookup(fn *types.Func) (string, bool) {
@@ -62,4 +81,15 @@ func isRegistryLookup(fn *types.Func) (string, bool) {
 		return "locks the registry and interns the metric name", true
 	}
 	return "", false
+}
+
+// isSlogCall identifies any call into log/slog — Logger methods, the
+// package-level helpers, and handler construction alike. obs.Logger is
+// caught transitively: its methods call slog, so they carry the fact.
+func isSlogCall(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil || pkg.Path() != "log/slog" {
+		return "", false
+	}
+	return "emits a structured log record (formats and allocates)", true
 }

@@ -1,6 +1,8 @@
 // Package obs mirrors tintin/internal/obs for the obsdirect fixture.
 package obs
 
+import "log/slog"
+
 type Counter struct{ n int64 }
 
 func (c *Counter) Add(d int64) { c.n += d }
@@ -32,4 +34,15 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// Logger mirrors obs.Logger: a thin wrapper over log/slog. Its methods
+// reach slog, so they must carry the obsdirect fact across packages.
+type Logger struct{ s *slog.Logger }
+
+func (l *Logger) Info(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Info(msg, args...)
 }

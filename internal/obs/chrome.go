@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"time"
+)
+
+// chrome.go exports recorded span trees in the Chrome trace-event format,
+// so a commit trace captured by the ring (or promoted by -trace-slow) opens
+// directly in Perfetto / chrome://tracing. Each trace becomes one "thread"
+// (tid = trace id) of complete events ("ph":"X"); timestamps are absolute
+// microseconds from the trace's wall-clock start, durations fractional
+// microseconds, and span attributes ride along in args.
+
+// chromeEvent is one complete ("X") event in the trace-event JSON schema.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the traces as one Chrome trace-event JSON
+// object ({"traceEvents": [...]}) on w.
+func WriteChromeTrace(w io.Writer, traces []TraceSnapshot) error {
+	var events []chromeEvent
+	for _, tr := range traces {
+		// A zero Start (scrubbed traces) anchors at 0, not the epoch delta.
+		base := 0.0
+		if !tr.Start.IsZero() {
+			base = float64(tr.Start.UnixNano()) / 1e3
+		}
+		events = appendChromeSpan(events, tr.Root, base, tr.ID)
+	}
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}
+
+func appendChromeSpan(events []chromeEvent, s SpanSnapshot, base float64, tid uint64) []chromeEvent {
+	ev := chromeEvent{
+		Name: s.Name,
+		Ph:   "X",
+		Ts:   base + float64(s.Start)/1e3,
+		Dur:  float64(s.Duration) / 1e3,
+		Pid:  1,
+		Tid:  tid,
+	}
+	if len(s.Attrs) > 0 {
+		ev.Args = make(map[string]any, len(s.Attrs))
+		for _, a := range s.Attrs {
+			if a.IsInt() {
+				ev.Args[a.Key] = a.Int()
+			} else {
+				ev.Args[a.Key] = a.Value()
+			}
+		}
+	}
+	events = append(events, ev)
+	for _, c := range s.Children {
+		events = appendChromeSpan(events, c, base, tid)
+	}
+	return events
+}
+
+// ScrubAttrKey reports whether an attribute value is nondeterministic
+// across runs: durations (the _ns suffix convention), worker ids, and byte
+// counts that depend on encoding details. The \trace scrub renderer and
+// ScrubTraces share this one policy.
+func ScrubAttrKey(key string) bool {
+	return key == "worker" || key == "bytes" || strings.HasSuffix(key, "_ns")
+}
+
+// ScrubTraces returns a deep copy of the traces with every
+// nondeterministic value normalized — wall-clock starts and durations
+// zeroed, worker/byte/duration attributes blanked — so two scrapes of the
+// same ring render byte-identically. This is the /debug/traces?scrub=1 and
+// golden-test mode; IDs, names, structural attrs and span order survive.
+func ScrubTraces(traces []TraceSnapshot) []TraceSnapshot {
+	out := make([]TraceSnapshot, len(traces))
+	for i, tr := range traces {
+		out[i] = TraceSnapshot{ID: tr.ID, Start: time.Time{}, Duration: 0, Root: scrubSpan(tr.Root)}
+	}
+	return out
+}
+
+func scrubSpan(s SpanSnapshot) SpanSnapshot {
+	c := SpanSnapshot{Name: s.Name}
+	if len(s.Attrs) > 0 {
+		c.Attrs = make([]Attr, len(s.Attrs))
+		for i, a := range s.Attrs {
+			if ScrubAttrKey(a.Key) {
+				c.Attrs[i] = Attr{Key: a.Key, str: "_"}
+			} else {
+				c.Attrs[i] = a
+			}
+		}
+	}
+	for _, ch := range s.Children {
+		c.Children = append(c.Children, scrubSpan(ch))
+	}
+	return c
+}

@@ -82,7 +82,9 @@ func Label(name, key, value string) string {
 }
 
 // splitLabel splits a registry key into its base name and rendered
-// Prometheus label ("" when unlabeled).
+// Prometheus label ("" when unlabeled). The label value is escaped per the
+// text exposition format: backslash, double-quote and newline are the three
+// characters the spec requires quoting inside a label value.
 func splitLabel(full string) (base, label string) {
 	i := strings.IndexByte(full, ';')
 	if i < 0 {
@@ -93,7 +95,18 @@ func splitLabel(full string) (base, label string) {
 	if j < 0 {
 		return full[:i], ""
 	}
-	return full[:i], kv[:j] + `="` + kv[j+1:] + `"`
+	return full[:i], kv[:j] + `="` + escapeLabelValue(kv[j+1:]) + `"`
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabelValue quotes the characters the Prometheus text format
+// reserves inside label values.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	return labelEscaper.Replace(v)
 }
 
 // Registry is a set of named metrics. Get-or-create accessors are safe for
@@ -230,10 +243,28 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// errWriter latches the first write error so the exposition loops stay
+// readable; once an error is recorded, further writes are dropped.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
-// format, metrics sorted by name, one TYPE line per metric family.
+// format: metrics sorted by name, exactly one # TYPE line per metric
+// family (label-variant series grouped under it), label values escaped per
+// the spec. The output shape is pinned byte for byte by
+// TestWritePrometheusGolden.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
+	ew := &errWriter{w: w}
+
 	var names []string
 	for n := range s.Counters {
 		names = append(names, n)
@@ -243,15 +274,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, n := range names {
 		base, label := splitLabel(n)
 		if base != lastBase {
-			fmt.Fprintf(w, "# TYPE %s counter\n", base)
+			ew.printf("# TYPE %s counter\n", base)
 			lastBase = base
 		}
 		if label != "" {
 			label = "{" + label + "}"
 		}
-		if _, err := fmt.Fprintf(w, "%s%s %d\n", base, label, s.Counters[n]); err != nil {
-			return err
-		}
+		ew.printf("%s%s %d\n", base, label, s.Counters[n])
 	}
 	names = names[:0]
 	for n := range s.Gauges {
@@ -262,15 +291,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, n := range names {
 		base, label := splitLabel(n)
 		if base != lastBase {
-			fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+			ew.printf("# TYPE %s gauge\n", base)
 			lastBase = base
 		}
 		if label != "" {
 			label = "{" + label + "}"
 		}
-		if _, err := fmt.Fprintf(w, "%s%s %d\n", base, label, s.Gauges[n]); err != nil {
-			return err
-		}
+		ew.printf("%s%s %d\n", base, label, s.Gauges[n])
 	}
 	names = names[:0]
 	for n := range s.Histograms {
@@ -281,7 +308,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, n := range names {
 		base, label := splitLabel(n)
 		if base != lastBase {
-			fmt.Fprintf(w, "# TYPE %s histogram\n", base)
+			ew.printf("# TYPE %s histogram\n", base)
 			lastBase = base
 		}
 		hs := s.Histograms[n]
@@ -292,17 +319,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		var cum int64
 		for i, b := range hs.Buckets {
 			cum += hs.Counts[i]
-			fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", base, pre, b, cum)
+			ew.printf("%s_bucket{%sle=\"%d\"} %d\n", base, pre, b, cum)
 		}
-		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, pre, hs.Count)
+		ew.printf("%s_bucket{%sle=\"+Inf\"} %d\n", base, pre, hs.Count)
 		braced := ""
 		if label != "" {
 			braced = "{" + label + "}"
 		}
-		fmt.Fprintf(w, "%s_sum%s %d\n", base, braced, hs.Sum)
-		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, braced, hs.Count); err != nil {
-			return err
-		}
+		ew.printf("%s_sum%s %d\n", base, braced, hs.Sum)
+		ew.printf("%s_count%s %d\n", base, braced, hs.Count)
 	}
-	return nil
+	return ew.err
 }

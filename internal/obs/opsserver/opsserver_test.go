@@ -1,0 +1,258 @@
+package opsserver_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tintin/internal/core"
+	"tintin/internal/obs"
+	"tintin/internal/obs/opsserver"
+	"tintin/internal/sched"
+	"tintin/internal/sqltypes"
+	"tintin/internal/storage"
+)
+
+// newTool builds a traced, metered tool with one assertion and a couple of
+// committed batches, so every ops endpoint has real data to render.
+func newTool(t *testing.T) *core.Tool {
+	t.Helper()
+	db := storage.NewDB("ops")
+	opts := core.DefaultOptions()
+	opts.Metrics = obs.NewRegistry()
+	opts.Trace = true
+	tool := core.New(db, opts)
+	if _, err := tool.Engine().ExecSQL(`
+		CREATE TABLE acct (a_id INTEGER PRIMARY KEY, a_balance REAL NOT NULL);
+		INSERT INTO acct VALUES (1, 10.0);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tool.AddAssertion(`CREATE ASSERTION positiveBalance CHECK (
+		NOT EXISTS (SELECT * FROM acct AS a WHERE a.a_balance < 0))`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tool.Engine().ExecSQL(`INSERT INTO acct VALUES (2, 5.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := tool.SafeCommit(); err != nil || !res.Committed {
+		t.Fatalf("seed commit: res=%+v err=%v", res, err)
+	}
+	return tool
+}
+
+func newServer(t *testing.T, tool *core.Tool, ready func() bool) *opsserver.Server {
+	t.Helper()
+	return opsserver.New(opsserver.Options{
+		Metrics: tool.Metrics(),
+		Tracer:  tool.Tracer,
+		Ready:   ready,
+	})
+}
+
+func get(t *testing.T, h http.Handler, target string) (int, string, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+	return rec.Code, rec.Header().Get("Content-Type"), rec.Body.String()
+}
+
+// TestEndpoints sweeps every mounted path: status 200, the expected
+// content type, and a body marker proving the right handler answered.
+func TestEndpoints(t *testing.T) {
+	tool := newTool(t)
+	srv := newServer(t, tool, nil)
+
+	cases := []struct {
+		target      string
+		contentType string
+		marker      string
+	}{
+		{"/", "text/plain; charset=utf-8", "tintin ops surface"},
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8", "# TYPE tintin_commits_total counter"},
+		{"/healthz", "text/plain; charset=utf-8", "ok"},
+		{"/readyz", "text/plain; charset=utf-8", "ready"},
+		{"/debug/traces", "application/json; charset=utf-8", `"name":"safecommit"`},
+		{"/debug/traces?format=chrome", "application/json; charset=utf-8", `"traceEvents"`},
+		{"/debug/vars", "application/json; charset=utf-8", "memstats"},
+		{"/debug/pprof/", "text/html; charset=utf-8", "goroutine"},
+		{"/debug/pprof/cmdline", "text/plain; charset=utf-8", ""},
+	}
+	for _, c := range cases {
+		code, ct, body := get(t, srv, c.target)
+		if code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", c.target, code)
+		}
+		if ct != c.contentType {
+			t.Errorf("GET %s content-type = %q, want %q", c.target, ct, c.contentType)
+		}
+		if c.marker != "" && !strings.Contains(body, c.marker) {
+			t.Errorf("GET %s body missing %q:\n%.400s", c.target, c.marker, body)
+		}
+	}
+
+	if code, _, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Errorf("GET /nope = %d, want 404", code)
+	}
+}
+
+// TestReadyzFlips pins the recovery gate: 503 with a reason while the tool
+// is recovering, 200 once the ready func flips.
+func TestReadyzFlips(t *testing.T) {
+	tool := newTool(t)
+	var ready atomic.Bool
+	srv := newServer(t, tool, ready.Load)
+
+	code, _, body := get(t, srv, "/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "recovery in progress") {
+		t.Fatalf("not-ready GET /readyz = %d %q", code, body)
+	}
+	// Liveness is independent of readiness.
+	if code, _, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Fatalf("GET /healthz while not ready = %d, want 200", code)
+	}
+	ready.Store(true)
+	code, _, body = get(t, srv, "/readyz")
+	if code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("ready GET /readyz = %d %q", code, body)
+	}
+}
+
+// TestTracesScrubStable pins /debug/traces?scrub=1: two scrapes of the
+// same ring are byte-identical, carry no slow-count, and differ from the
+// unscrubbed dump (which has real timestamps).
+func TestTracesScrubStable(t *testing.T) {
+	tool := newTool(t)
+	srv := newServer(t, tool, nil)
+
+	_, _, raw := get(t, srv, "/debug/traces")
+	_, _, a := get(t, srv, "/debug/traces?scrub=1")
+	_, _, b := get(t, srv, "/debug/traces?scrub=1")
+	if a != b {
+		t.Fatalf("scrubbed scrapes differ:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	if a == raw {
+		t.Fatal("scrub=1 did not change the dump")
+	}
+	if !strings.Contains(a, `"slow_count":0`) {
+		t.Fatalf("scrubbed dump leaks slow count:\n%.400s", a)
+	}
+	if !strings.Contains(a, `"name":"safecommit"`) {
+		t.Fatalf("scrub dropped span structure:\n%.400s", a)
+	}
+}
+
+// TestNilOptions pins the all-nil contract: every endpoint still answers.
+func TestNilOptions(t *testing.T) {
+	srv := opsserver.New(opsserver.Options{})
+	for _, target := range []string{"/", "/metrics", "/healthz", "/readyz", "/debug/traces"} {
+		if code, _, _ := get(t, srv, target); code != http.StatusOK {
+			t.Errorf("GET %s with nil options = %d, want 200", target, code)
+		}
+	}
+	_, _, body := get(t, srv, "/debug/traces")
+	if !strings.Contains(body, `"traces":[]`) {
+		t.Fatalf("nil tracer dump = %.200s", body)
+	}
+}
+
+// TestStartServesAndCloses exercises the managed listener: bind :0, hit
+// /healthz over real TCP, close, and verify the port is released.
+func TestStartServesAndCloses(t *testing.T) {
+	tool := newTool(t)
+	srv := newServer(t, tool, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr() != addr {
+		t.Fatalf("Addr() = %q, want %q", srv.Addr(), addr)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("GET /healthz over TCP = %d %q", resp.StatusCode, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still answering after Close")
+	}
+}
+
+// TestScrapeUnderConcurrentCommits is the race check: sessions drive group
+// commits through the committer while scrapers hammer /metrics and
+// /debug/traces. Run under -race; the endpoints render point-in-time
+// snapshots, so no synchronization beyond the registry's own is needed.
+func TestScrapeUnderConcurrentCommits(t *testing.T) {
+	tool := newTool(t)
+	srv := newServer(t, tool, nil)
+	com := tool.NewCommitter()
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for _, target := range []string{"/metrics", "/debug/traces", "/debug/traces?scrub=1"} {
+		scrapers.Add(1)
+		go func(target string) {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, _, _ := get(t, srv, target)
+				if code != http.StatusOK {
+					t.Errorf("GET %s = %d mid-commit", target, code)
+					return
+				}
+			}
+		}(target)
+	}
+
+	const sessions = 4
+	const commitsPer = 25
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < commitsPer; i++ {
+				id := int64(1000 + s*commitsPer + i)
+				res, err := com.Commit(sched.Delta{Ops: []sched.Op{{
+					Table: "acct",
+					Row:   sqltypes.Row{sqltypes.NewInt(id), sqltypes.NewFloat(1.0)},
+				}}})
+				if err != nil {
+					t.Errorf("session %d commit %d: %v", s, i, err)
+					return
+				}
+				if !res.Committed {
+					t.Errorf("session %d commit %d rejected", s, i)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+	com.Close()
+
+	_, _, body := get(t, srv, "/metrics")
+	if !strings.Contains(body, "tintin_commit_batches_total") {
+		t.Fatalf("/metrics missing group-commit counters after run:\n%.400s", body)
+	}
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the text exposition byte for byte:
+// one # TYPE line per family with label variants grouped under it, label
+// values with the three reserved characters (backslash, double quote,
+// newline) escaped per the spec, histogram bucket series cumulative.
+// Regenerate with UPDATE_GOLDEN=1.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tintin_commits_total").Add(7)
+	r.Counter(Label("tintin_view_rows_total", "view", "v_a_1")).Add(3)
+	r.Counter(Label("tintin_view_rows_total", "view", "v_b_1")).Add(4)
+	r.Counter(Label("tintin_odd_total", "q", `say "hi"`)).Inc()
+	r.Counter(Label("tintin_odd_total", "path", `C:\wal\log`)).Inc()
+	r.Counter(Label("tintin_odd_total", "msg", "line1\nline2")).Inc()
+	r.Gauge("tintin_queue_depth").Set(-2)
+	r.GaugeFunc("tintin_plan_cache_size", func() int64 { return 12 })
+	h := r.HistogramBounds("tintin_check_ns", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	hl := r.HistogramBounds(Label("tintin_view_check_ns", "view", "v_a_1"), []int64{10})
+	hl.Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from %s (set UPDATE_GOLDEN=1 to regenerate)\n--- got ---\n%s", golden, buf.String())
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		`back\slash`: `back\\slash`,
+		`qu"ote`:     `qu\"ote`,
+		"new\nline":  `new\nline`,
+		"\\\"\n":     `\\\"\n`,
+		"":           "",
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for _, c := range []struct {
+		in      string
+		enabled bool
+		ok      bool
+	}{
+		{"", true, true},
+		{"debug", true, true},
+		{"info", true, true},
+		{"warn", true, true},
+		{"warning", true, true},
+		{"error", true, true},
+		{"off", false, true},
+		{"none", false, true},
+		{"OFF", false, true},
+		{"Debug", true, true},
+		{"verbose", false, false},
+	} {
+		_, enabled, ok := ParseLogLevel(c.in)
+		if enabled != c.enabled || ok != c.ok {
+			t.Errorf("ParseLogLevel(%q) = enabled=%v ok=%v, want enabled=%v ok=%v",
+				c.in, enabled, ok, c.enabled, c.ok)
+		}
+	}
+}
+
+// TestLoggerNilSafe pins the nil-receiver contract: a nil *Logger accepts
+// every method, so unwired call sites need no branches.
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("d", "k", 1)
+	l.Info("i")
+	l.Warn("w", "err", "x")
+	l.Error("e")
+	if got := l.With("component", "wal"); got != nil {
+		t.Fatalf("nil.With = %v, want nil", got)
+	}
+}
+
+func TestLoggerWritesLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := TextLogger(&buf, slog.LevelWarn)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("torn tail", "dropped_bytes", 9)
+	l.Error("boom")
+	out := buf.String()
+	if strings.Contains(out, "nope") {
+		t.Fatalf("below-threshold records written:\n%s", out)
+	}
+	for _, want := range []string{"torn tail", "dropped_bytes=9", "boom", "level=WARN", "level=ERROR"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChromeTraceExport pins the trace-event translation: one complete
+// ("X") event per span, trace id as tid, attrs in args, and the scrubbed
+// form free of nondeterministic values.
+func TestChromeTraceExport(t *testing.T) {
+	tracer := NewTracer(4)
+	tracer.SetEnabled(true)
+	trace := tracer.Start("commit")
+	trace.Root().SetAttrInt("deltas", 2)
+	c := trace.Root().Child("wal")
+	c.SetAttrInt("bytes", 123)
+	c.End()
+	trace.Finish()
+
+	snaps := tracer.Traces()
+	if len(snaps) != 1 {
+		t.Fatalf("traces = %d, want 1", len(snaps))
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"traceEvents"`, `"name":"commit"`, `"name":"wal"`, `"ph":"X"`, `"deltas":2`, `"bytes":123`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome export missing %s:\n%s", want, out)
+		}
+	}
+
+	// Scrubbed traces are deterministic: zero start, zero durations,
+	// nondeterministic attrs blanked — and the originals stay untouched.
+	sc := ScrubTraces(snaps)
+	if !sc[0].Start.IsZero() || sc[0].Duration != 0 {
+		t.Fatalf("scrub left wall-clock state: %+v", sc[0])
+	}
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, sc); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("scrubbed chrome export not byte-stable")
+	}
+	if strings.Contains(a.String(), `"bytes":123`) {
+		t.Fatalf("scrub kept the bytes attr:\n%s", a.String())
+	}
+	if snaps[0].Start.IsZero() {
+		t.Fatal("ScrubTraces mutated its input")
+	}
+}
+
+// TestWriteChromeTraceEmpty keeps the empty export valid JSON with an
+// empty array, not null — Perfetto rejects null.
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != `{"traceEvents":[]}` {
+		t.Fatalf("empty export = %s", got)
+	}
+}

@@ -49,6 +49,7 @@ type committerConfig struct {
 	maxBatch int
 	keyFn    func(Op) []string
 	metrics  CommitterMetrics
+	logger   *obs.Logger
 }
 
 // CommitterMetrics are the group-commit counters a committer maintains.
@@ -72,6 +73,13 @@ type CommitterMetrics struct {
 // WithMetrics wires group-commit metrics into the committer.
 func WithMetrics(m CommitterMetrics) CommitterOption {
 	return func(c *committerConfig) { c.metrics = m }
+}
+
+// WithLogger wires lifecycle logging: leader step-up/step-down at debug,
+// close and systemic batch failures at info/error. The per-delta fast path
+// (Commit enqueue, batch cutting) never logs.
+func WithLogger(l *obs.Logger) CommitterOption {
+	return func(c *committerConfig) { c.logger = l }
 }
 
 // WithMaxBatch caps how many deltas one batch may carry (default 64).
@@ -168,16 +176,21 @@ func (c *Committer[R]) Commit(d Delta) (R, error) {
 func (c *Committer[R]) Close() {
 	c.mu.Lock()
 	c.closed = true
+	queued := len(c.queue)
 	c.mu.Unlock()
+	c.cfg.logger.Info("committer: closed", "queued", queued)
 }
 
 // lead drains the queue batch by batch, then steps down.
 func (c *Committer[R]) lead() {
+	c.cfg.logger.Debug("committer: leader stepping up")
+	served := 0
 	for {
 		c.mu.Lock()
 		if len(c.queue) == 0 {
 			c.leading = false
 			c.mu.Unlock()
+			c.cfg.logger.Debug("committer: leader stepping down", "batches_served", served)
 			return
 		}
 		batch := c.cutBatch()
@@ -191,6 +204,10 @@ func (c *Committer[R]) lead() {
 		if err == nil && len(acks) != len(batch) {
 			err = fmt.Errorf("sched: batch func returned %d acks for %d deltas", len(acks), len(batch))
 		}
+		if err != nil {
+			c.cfg.logger.Error("committer: batch failed systemically", "deltas", len(batch), "err", err.Error())
+		}
+		served++
 		for i, p := range batch {
 			if err != nil {
 				p.done <- commitOutcome[R]{err: err}

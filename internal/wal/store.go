@@ -188,6 +188,7 @@ func (s *Store) Checkpoint(write func(w io.Writer) error) error {
 		return err
 	}
 	s.o.Metrics.Checkpoints.Inc()
+	s.o.Logger.Info("wal: checkpoint written", "dir", s.dir, "last_seq", lastSeq, "bytes", payload.Len())
 	return nil
 }
 

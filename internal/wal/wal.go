@@ -74,6 +74,10 @@ type Metrics struct {
 	FsyncNS     *obs.Histogram
 	Checkpoints *obs.Counter
 	Replayed    *obs.Counter
+	// TornTruncations counts torn log tails dropped at open — the
+	// signature of a crash mid-append, surfaced so operators can tell a
+	// clean restart from one that discarded an unacknowledged batch.
+	TornTruncations *obs.Counter
 }
 
 // Options configures a Store / Log.
@@ -82,6 +86,10 @@ type Options struct {
 	// SyncInterval is the fsync period under SyncInterval (default 100ms).
 	SyncInterval time.Duration
 	Metrics      Metrics
+	// Logger receives recovery and checkpoint lifecycle events (torn-tail
+	// truncations, checkpoints written). Never called on the append path —
+	// the obsdirect analyzer holds logging off commit-reachable code.
+	Logger *obs.Logger
 	// Injector, when set, simulates crashes and write errors at named
 	// points (tests only).
 	Injector *Injector
@@ -144,6 +152,8 @@ func openLog(path string, startSeq uint64, o Options) (*Log, error) {
 	case len(data) < logHeaderSize:
 		// Torn header (crash while initializing the log): treat as fresh.
 		fresh = true
+		o.Metrics.TornTruncations.Inc()
+		o.Logger.Warn("wal: dropping torn log header", "path", path, "bytes", len(data))
 	default:
 		if string(data[:4]) != logMagic || data[4] != version {
 			return nil, fmt.Errorf("%w: bad header in %s", ErrCorrupt, path)
@@ -184,6 +194,9 @@ func openLog(path string, startSeq uint64, o Options) (*Log, error) {
 	} else {
 		if truncateTo < int64(len(data)) {
 			// Drop the torn tail so appends extend a clean prefix.
+			o.Metrics.TornTruncations.Inc()
+			o.Logger.Warn("wal: truncating torn tail", "path", path,
+				"dropped_bytes", int64(len(data))-truncateTo, "valid_records", len(l.tail))
 			if err := l.f.Truncate(truncateTo); err != nil {
 				f.Close()
 				return nil, err

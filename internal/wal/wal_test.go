@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -455,6 +457,51 @@ func TestEmptyPayloadRecord(t *testing.T) {
 	got := replayAll(t, s2)
 	if payload, ok := got[1]; !ok || !bytes.Equal([]byte(payload), nil) {
 		t.Fatalf("replayed %v", got)
+	}
+	s2.Close()
+}
+
+// TestTornTailObservability pins the torn-tail instrumentation: truncating
+// a torn final record increments the recovery counter and emits one warn
+// record naming the dropped byte count; a torn header does the same.
+func TestTornTailObservability(t *testing.T) {
+	dir := buildLogWith3Records(t)
+	data, write := rawLog(t, dir)
+	write(data[:len(data)-4])
+
+	var logBuf bytes.Buffer
+	reg := obs.NewRegistry()
+	torn := reg.Counter("torn_total")
+	s := openTestStore(t, dir, Options{
+		Metrics: Metrics{TornTruncations: torn},
+		Logger:  obs.TextLogger(&logBuf, slog.LevelWarn),
+	})
+	if got := torn.Value(); got != 1 {
+		t.Fatalf("torn truncations = %d, want 1", got)
+	}
+	out := logBuf.String()
+	// The drop covers the whole partial record, not just the missing bytes.
+	if !strings.Contains(out, "truncating torn tail") || !strings.Contains(out, "dropped_bytes=25") ||
+		!strings.Contains(out, "valid_records=2") {
+		t.Fatalf("torn-tail warn record missing or wrong:\n%s", out)
+	}
+	s.Close()
+
+	// Torn header: the whole log is treated as fresh, counted and logged.
+	dir2 := buildLogWith3Records(t)
+	data2, write2 := rawLog(t, dir2)
+	write2(data2[:5])
+	logBuf.Reset()
+	torn2 := reg.Counter("torn2_total")
+	s2 := openTestStore(t, dir2, Options{
+		Metrics: Metrics{TornTruncations: torn2},
+		Logger:  obs.TextLogger(&logBuf, slog.LevelWarn),
+	})
+	if got := torn2.Value(); got != 1 {
+		t.Fatalf("torn-header truncations = %d, want 1", got)
+	}
+	if !strings.Contains(logBuf.String(), "torn log header") {
+		t.Fatalf("torn-header warn record missing:\n%s", logBuf.String())
 	}
 	s2.Close()
 }
